@@ -1,0 +1,144 @@
+// Shared scaffolding for the reproduction benches: engine line-ups,
+// experiment runners, and table printing.
+//
+// Every bench binary accepts:
+//   --quick            shrink object size and op counts (CI smoke run)
+//   --object-mb=N      object size (default 10, as in the paper)
+//   --ops=N            operations for update-mix experiments (default 20000)
+
+#ifndef LOB_BENCH_BENCH_COMMON_H_
+#define LOB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "core/storage_system.h"
+#include "workload/workload.h"
+
+namespace lob::bench {
+
+/// One storage structure configuration under test.
+struct EngineSpec {
+  std::string label;
+  std::function<std::unique_ptr<LargeObjectManager>(StorageSystem*)> make;
+};
+
+inline std::vector<EngineSpec> EsmSpecs() {
+  std::vector<EngineSpec> specs;
+  for (uint32_t leaf : {1u, 4u, 16u, 64u}) {
+    specs.push_back({"ESM leaf=" + std::to_string(leaf),
+                     [leaf](StorageSystem* sys) {
+                       return CreateEsmManager(sys, leaf);
+                     }});
+  }
+  return specs;
+}
+
+inline std::vector<EngineSpec> EosSpecs() {
+  std::vector<EngineSpec> specs;
+  for (uint32_t t : {1u, 4u, 16u, 64u}) {
+    specs.push_back({"EOS T=" + std::to_string(t),
+                     [t](StorageSystem* sys) {
+                       return CreateEosManager(sys, t);
+                     }});
+  }
+  return specs;
+}
+
+inline EngineSpec StarburstSpec() {
+  return {"Starburst",
+          [](StorageSystem* sys) { return CreateStarburstManager(sys); }};
+}
+
+/// The paper's Figure 5 x-axis (append/scan sizes, kilobytes).
+inline std::vector<uint64_t> PaperAppendSizesKb() {
+  return {3,  4,  5,  6,  7,  8,   10,  12,  14,  16, 20,
+          24, 28, 32, 50, 64, 100, 128, 200, 256, 512};
+}
+
+/// Prints the Table 1 banner every bench starts with.
+inline void PrintBanner(const char* title, const char* reproduces) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", reproduces);
+  std::printf("fixed parameters (paper Table 1): 4K pages, 12-page pool,\n");
+  std::printf("  4-page pool segment limit, 33 ms seek, 1 KB/ms transfer\n");
+  std::printf("================================================================\n");
+}
+
+/// Common command line handling.
+struct BenchArgs {
+  uint64_t object_bytes = 10ull * 1024 * 1024;
+  uint32_t ops = 20000;
+  uint32_t window = 2000;
+  bool quick = false;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    args.quick = FlagPresent(argc, argv, "quick");
+    const uint64_t mb = FlagValue(argc, argv, "object-mb",
+                                  args.quick ? 2 : 10);
+    args.object_bytes = mb * 1024 * 1024;
+    args.ops = static_cast<uint32_t>(
+        FlagValue(argc, argv, "ops", args.quick ? 2000 : 20000));
+    args.window = std::max(1u, args.ops / 10);
+    return args;
+  }
+};
+
+/// Result of one update-mix configuration run.
+struct MixRun {
+  std::vector<MixPoint> points;
+  double final_utilization = 0;
+};
+
+/// Builds an object (100K appends, mirroring a bulk load) and runs the
+/// paper's 40/30/30 mix with the given mean operation size.
+inline MixRun RunMixFor(const EngineSpec& spec, uint64_t object_bytes,
+                        uint64_t mean_op, uint32_t ops, uint32_t window) {
+  StorageSystem sys;
+  auto mgr = spec.make(&sys);
+  auto id = mgr->Create();
+  LOB_CHECK_OK(id.status());
+  LOB_CHECK_OK(
+      BuildObject(&sys, mgr.get(), *id, object_bytes, 100 * 1024).status());
+  MixSpec mix;
+  mix.mean_op_bytes = mean_op;
+  mix.total_ops = ops;
+  mix.window_ops = window;
+  mix.seed = 7 + mean_op;
+  auto points = RunUpdateMix(&sys, mgr.get(), *id, mix);
+  LOB_CHECK_OK(points.status());
+  MixRun run;
+  run.points = *points;
+  run.final_utilization = points->empty() ? 1.0
+                                          : points->back().utilization;
+  return run;
+}
+
+/// Prints one mix metric (selected by `get`) as a series table: one row per
+/// mark, one column per spec.
+inline void PrintMixSeries(
+    const std::vector<std::string>& labels,
+    const std::vector<std::vector<MixPoint>>& series,
+    const std::function<double(const MixPoint&)>& get, const char* unit) {
+  std::printf("%10s", "ops");
+  for (const auto& label : labels) std::printf("  %14s", label.c_str());
+  std::printf("   [%s]\n", unit);
+  if (series.empty() || series[0].empty()) return;
+  for (size_t row = 0; row < series[0].size(); ++row) {
+    std::printf("%10u", series[0][row].ops_done);
+    for (const auto& s : series) {
+      std::printf("  %14.2f", row < s.size() ? get(s[row]) : 0.0);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace lob::bench
+
+#endif  // LOB_BENCH_BENCH_COMMON_H_

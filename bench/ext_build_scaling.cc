@@ -1,0 +1,46 @@
+// Extension: object build cost vs object size. The paper (4.2) states the
+// cost of creating an object grows linearly with its size ("to obtain the
+// time required to build a 100 M-byte object, just multiply the numbers in
+// Figure 5 by 10"). This bench reports seconds-per-megabyte at several
+// object sizes; a flat column means linear scaling.
+
+#include "bench/bench_common.h"
+
+using namespace lob;
+using namespace lob::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintBanner("ext_build_scaling: build cost per MB vs object size",
+              "4.2 (build cost grows linearly with object size)");
+  const uint64_t append = FlagValue(argc, argv, "append-kb", 32) * 1024;
+  std::printf("append size: %llu KB\n\n",
+              static_cast<unsigned long long>(append / 1024));
+
+  std::vector<EngineSpec> specs = {EsmSpecs()[1], StarburstSpec(),
+                                   {"EOS T=4", [](StorageSystem* sys) {
+                                      return CreateEosManager(sys, 4);
+                                    }}};
+  std::vector<uint64_t> sizes_mb = args.quick
+                                       ? std::vector<uint64_t>{1, 2, 4}
+                                       : std::vector<uint64_t>{1, 5, 10, 20,
+                                                               50};
+  std::printf("%10s", "object_mb");
+  for (const auto& s : specs) std::printf("  %16s", s.label.c_str());
+  std::printf("   [seconds per MB]\n");
+  for (uint64_t mb : sizes_mb) {
+    std::printf("%10llu", static_cast<unsigned long long>(mb));
+    for (const auto& spec : specs) {
+      StorageSystem sys;
+      auto mgr = spec.make(&sys);
+      auto id = mgr->Create();
+      LOB_CHECK_OK(id.status());
+      auto r = BuildObject(&sys, mgr.get(), *id, mb * 1024 * 1024, append);
+      LOB_CHECK_OK(r.status());
+      std::printf("  %16.2f", r->Seconds() / static_cast<double>(mb));
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper anchor: per-MB cost is constant (linear scaling).\n");
+  return 0;
+}

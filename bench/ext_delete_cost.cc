@@ -1,0 +1,16 @@
+// Extension (tech-report material): delete I/O cost for ESM and EOS. The
+// paper states (4.4.3) that delete trends match insert trends; this bench
+// prints the measured delete costs so the claim can be checked.
+
+#include "bench/mix_figure.h"
+
+int main(int argc, char** argv) {
+  std::vector<lob::bench::EngineSpec> specs = lob::bench::EsmSpecs();
+  for (auto& spec : lob::bench::EosSpecs()) specs.push_back(spec);
+  return lob::bench::RunMixFigure(
+      argc, argv, "ext_delete_cost: ESM and EOS delete I/O cost vs ops",
+      "4.4.3 (delete costs; graphs only in the technical report)", specs,
+      lob::bench::MixMetric::kDeleteMs,
+      "the trends mentioned for inserts also hold for deletes (paper "
+      "4.4.3).");
+}

@@ -1,0 +1,72 @@
+// Extension beyond the paper: sensitivity to the seek/transfer ratio.
+// The study models a 1992 disk (33 ms seek, 1 KB/ms transfer, ratio 33:4
+// per page). Modern devices have far lower effective seek-to-transfer
+// ratios; this ablation re-runs the 10 K-insert comparison at several
+// seek costs to show how the structures' ranking shifts: expensive seeks
+// reward large segments, cheap seeks make small-leaf ESM competitive.
+
+#include "bench/bench_common.h"
+
+using namespace lob;
+using namespace lob::bench;
+
+namespace {
+
+struct Costs {
+  double build_s;
+  double insert_ms;
+  double read_ms;
+};
+
+Costs Measure(const StorageConfig& cfg, const EngineSpec& spec,
+              uint64_t object_bytes, uint32_t ops) {
+  StorageSystem sys(cfg);
+  auto mgr = spec.make(&sys);
+  auto id = mgr->Create();
+  LOB_CHECK_OK(id.status());
+  auto build =
+      BuildObject(&sys, mgr.get(), *id, object_bytes, 32 * 1024);
+  LOB_CHECK_OK(build.status());
+  MixSpec mix;
+  mix.mean_op_bytes = 10000;
+  mix.total_ops = ops;
+  mix.window_ops = ops;
+  auto points = RunUpdateMix(&sys, mgr.get(), *id, mix);
+  LOB_CHECK_OK(points.status());
+  return {build->Seconds(), points->back().avg_insert_ms,
+          points->back().avg_read_ms};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintBanner("ext_seek_sensitivity: seek cost ablation",
+              "beyond the paper (Table 1 fixes 33 ms seek)");
+  std::printf("object: %.1f MB, 32 K appends, 10 K mix, %u ops\n\n",
+              static_cast<double>(args.object_bytes) / 1048576.0, args.ops);
+
+  std::vector<EngineSpec> specs = {EsmSpecs()[0], EsmSpecs()[2],
+                                   {"EOS T=4", [](StorageSystem* sys) {
+                                      return CreateEosManager(sys, 4);
+                                    }}};
+  for (double seek : {2.0, 10.0, 33.0, 100.0}) {
+    StorageConfig cfg;
+    cfg.seek_ms = seek;
+    std::printf("--- seek = %.0f ms (transfer 4 ms/page) ---\n", seek);
+    std::printf("%14s  %12s  %14s  %12s\n", "engine", "build [s]",
+                "insert [ms]", "read [ms]");
+    for (const auto& spec : specs) {
+      Costs c = Measure(cfg, spec, args.object_bytes, args.ops);
+      std::printf("%14s  %12.1f  %14.1f  %12.1f\n", spec.label.c_str(),
+                  c.build_s, c.insert_ms, c.read_ms);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expected: at 33-100 ms seeks, large segments dominate reads; as the\n"
+      "seek cost falls toward the transfer cost, the gap between 1-page\n"
+      "ESM leaves and segment-based layouts narrows - the study's\n"
+      "conclusions are a function of 1992 disk geometry.\n");
+  return 0;
+}

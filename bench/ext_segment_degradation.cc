@@ -1,0 +1,87 @@
+// Extension: how update traffic degrades EOS segment sizes toward the
+// threshold. Paper 4.4 (Figure 10 discussion): "when the object is
+// initially created ... the leaf segments are large at this point.
+// However, as more and more updates are performed, these segments
+// gradually degrade to about N-page leaves, where N is the segment size
+// threshold." This bench prints the mean segment size at each mark, plus
+// the final size histogram per threshold.
+
+#include "bench/bench_common.h"
+#include "workload/maintenance.h"
+
+using namespace lob;
+using namespace lob::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  PrintBanner("ext_segment_degradation: EOS segment sizes vs update count",
+              "4.4 (segments degrade to about T-page leaves)");
+  std::printf("object: %.1f MB, 10 K mix\n\n",
+              static_cast<double>(args.object_bytes) / 1048576.0);
+
+  const uint32_t thresholds[] = {1, 4, 16, 64};
+  std::printf("%10s", "ops");
+  for (uint32_t t : thresholds) std::printf("  %12s%u", "T=", t);
+  std::printf("   [mean segment pages]\n");
+
+  struct Run {
+    std::unique_ptr<StorageSystem> sys;
+    std::unique_ptr<LargeObjectManager> mgr;
+    ObjectId id;
+  };
+  std::vector<Run> runs;
+  for (uint32_t t : thresholds) {
+    Run run;
+    run.sys = std::make_unique<StorageSystem>();
+    run.mgr = CreateEosManager(run.sys.get(), t);
+    auto id = run.mgr->Create();
+    LOB_CHECK_OK(id.status());
+    run.id = *id;
+    LOB_CHECK_OK(BuildObject(run.sys.get(), run.mgr.get(), run.id,
+                             args.object_bytes, 100 * 1024)
+                     .status());
+    runs.push_back(std::move(run));
+  }
+
+  const uint32_t steps = 10;
+  const uint32_t per_step = args.ops / steps;
+  for (uint32_t step = 0; step <= steps; ++step) {
+    std::printf("%10u", step * per_step);
+    for (auto& run : runs) {
+      auto mean = MeanSegmentPages(run.mgr.get(), run.id);
+      LOB_CHECK_OK(mean.status());
+      std::printf("  %13.1f", *mean);
+    }
+    std::printf("\n");
+    if (step == steps) break;
+    for (auto& run : runs) {
+      MixSpec mix;
+      mix.mean_op_bytes = 10000;
+      mix.total_ops = per_step;
+      mix.window_ops = per_step;
+      mix.seed = 31 + step;
+      LOB_CHECK_OK(
+          RunUpdateMix(run.sys.get(), run.mgr.get(), run.id, mix).status());
+    }
+  }
+
+  std::printf("\nfinal segment-size histograms (pages: count):\n");
+  for (size_t k = 0; k < runs.size(); ++k) {
+    auto hist = SegmentHistogram(runs[k].mgr.get(), runs[k].id);
+    LOB_CHECK_OK(hist.status());
+    std::printf("  T=%-3u ", thresholds[k]);
+    int shown = 0;
+    for (const auto& [pages, count] : *hist) {
+      if (shown++ == 8) {
+        std::printf("...");
+        break;
+      }
+      std::printf("%u:%u  ", pages, count);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nexpected: every column starts high (doubling build segments) and\n"
+      "falls toward roughly its threshold as updates accumulate.\n");
+  return 0;
+}

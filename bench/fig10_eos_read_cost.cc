@@ -1,0 +1,15 @@
+// Figure 10: EOS read I/O cost. Fresh objects read the same for every
+// threshold (segments start large); as updates accumulate, segments
+// degrade toward ~T pages and the curves separate.
+
+#include "bench/mix_figure.h"
+
+int main(int argc, char** argv) {
+  return lob::bench::RunMixFigure(
+      argc, argv, "fig10_eos_read_cost: EOS read I/O cost vs ops",
+      "Figure 10 a-c (EOS read I/O cost)", lob::bench::EosSpecs(),
+      lob::bench::MixMetric::kReadMs,
+      "initially identical across T; larger T reads cheaper as the object "
+      "ages;\n  EOS <= ESM at the same size; T=16 reaches Starburst-level "
+      "reads (Table 2).");
+}

@@ -1,0 +1,16 @@
+// Figure 11: ESM insert I/O cost. The best leaf size tracks the insert
+// size: 16-page leaves win for 100 K inserts, 4-page for 10 K; 64-page
+// leaves pay large rewrites for small inserts; 1-page leaves scatter big
+// inserts over many random writes.
+
+#include "bench/mix_figure.h"
+
+int main(int argc, char** argv) {
+  return lob::bench::RunMixFigure(
+      argc, argv, "fig11_esm_insert_cost: ESM insert I/O cost vs ops",
+      "Figure 11 a-c (ESM insert I/O cost)", lob::bench::EsmSpecs(),
+      lob::bench::MixMetric::kInsertMs,
+      "best leaf ~ insert size (100 K -> leaf=16; 10 K -> leaf=4); leaf=64 "
+      "worst\n  for small inserts; leaf=1 poor for 100 K inserts (25 "
+      "random page writes).");
+}

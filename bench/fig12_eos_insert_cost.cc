@@ -1,0 +1,15 @@
+// Figure 12: EOS insert I/O cost. Thresholds 1-4 cost the same (new bytes
+// land in as few segments as necessary); above 4 the cost rises with the
+// extra page shuffling the threshold rule performs.
+
+#include "bench/mix_figure.h"
+
+int main(int argc, char** argv) {
+  return lob::bench::RunMixFigure(
+      argc, argv, "fig12_eos_insert_cost: EOS insert I/O cost vs ops",
+      "Figure 12 a-c (EOS insert I/O cost)", lob::bench::EosSpecs(),
+      lob::bench::MixMetric::kInsertMs,
+      "T=1 and T=4 equal; cost grows for T>4 (page reshuffling); EOS <= "
+      "ESM\n  below 16 pages; mixed at 16/64 (ESM better for small, EOS "
+      "for large inserts).");
+}

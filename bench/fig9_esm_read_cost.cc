@@ -1,0 +1,14 @@
+// Figure 9: ESM read I/O cost (window-averaged) as random updates degrade
+// the structure.
+
+#include "bench/mix_figure.h"
+
+int main(int argc, char** argv) {
+  return lob::bench::RunMixFigure(
+      argc, argv, "fig9_esm_read_cost: ESM read I/O cost vs ops",
+      "Figure 9 a-c (ESM read I/O cost)", lob::bench::EsmSpecs(),
+      lob::bench::MixMetric::kReadMs,
+      "100 B: ~37-40 ms everywhere, leaf=1 slightly worse (more index "
+      "pages);\n  10 K: leaf=1 about double the multi-page leaves; 100 K: "
+      "larger leaves\n  clearly cheaper.");
+}

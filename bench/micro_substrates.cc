@@ -1,0 +1,104 @@
+// Micro-benchmarks (google-benchmark) for the substrate layers: buddy
+// allocation, positional tree search/update, buffer pool fixes, simulated
+// disk calls. These measure wall-clock CPU cost of the simulator itself
+// (not modeled I/O time) and guard against performance regressions in the
+// library.
+
+#include <benchmark/benchmark.h>
+
+#include "buddy/buddy_tree.h"
+#include "buffer/op_context.h"
+#include "core/factory.h"
+#include "core/storage_system.h"
+#include "lobtree/positional_tree.h"
+#include "workload/workload.h"
+
+namespace lob {
+namespace {
+
+void BM_BuddyAllocateFree(benchmark::State& state) {
+  BuddyTree tree(14);
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto a = tree.Allocate(n);
+    benchmark::DoNotOptimize(a.ok());
+    if (a.ok()) {
+      benchmark::DoNotOptimize(tree.Free(*a, n));
+    }
+  }
+}
+BENCHMARK(BM_BuddyAllocateFree)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_SimDiskReadCall(benchmark::State& state) {
+  StorageConfig cfg;
+  SimDisk disk(cfg);
+  AreaId a = disk.CreateArea();
+  std::vector<char> buf(static_cast<size_t>(state.range(0)) * 4096);
+  disk.Write(a, 0, static_cast<uint32_t>(state.range(0)), buf.data());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        disk.Read(a, 0, static_cast<uint32_t>(state.range(0)), buf.data()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * 4096);
+}
+BENCHMARK(BM_SimDiskReadCall)->Arg(1)->Arg(4)->Arg(64);
+
+void BM_BufferPoolFixHit(benchmark::State& state) {
+  StorageConfig cfg;
+  SimDisk disk(cfg);
+  BufferPool pool(&disk, cfg);
+  AreaId a = disk.CreateArea();
+  { auto g = pool.FixPage(a, 0, FixMode::kNew); }
+  for (auto _ : state) {
+    auto g = pool.FixPage(a, 0, FixMode::kRead);
+    benchmark::DoNotOptimize(g.ok());
+  }
+}
+BENCHMARK(BM_BufferPoolFixHit);
+
+void BM_TreeFindLeaf(benchmark::State& state) {
+  StorageConfig cfg;
+  SimDisk disk(cfg);
+  BufferPool pool(&disk, cfg);
+  AreaId meta = disk.CreateArea();
+  DatabaseArea area(&pool, meta, cfg);
+  TreeConfig tc;
+  tc.pool = &pool;
+  tc.meta_area = &area;
+  PositionalTree tree(tc);
+  OpContext ctx(&pool);
+  auto root = tree.CreateObject(0);
+  uint64_t at = 0;
+  for (int i = 0; i < state.range(0); ++i) {
+    tree.InsertLeaf(*root, at, {4096, static_cast<PageId>(100000 + i)},
+                    &ctx);
+    ctx.Finish();
+    at += 4096;
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    auto leaf = tree.FindLeaf(*root, rng.Uniform(0, at - 1));
+    benchmark::DoNotOptimize(leaf.ok());
+  }
+}
+BENCHMARK(BM_TreeFindLeaf)->Arg(256)->Arg(2560);
+
+void BM_EndToEndRead10K(benchmark::State& state) {
+  StorageSystem sys;
+  auto mgr = CreateEosManager(&sys, 4);
+  auto id = mgr->Create();
+  BuildObject(&sys, mgr.get(), *id, 4 * 1024 * 1024, 100 * 1024);
+  Rng rng(2);
+  std::string buf;
+  for (auto _ : state) {
+    const uint64_t off = rng.Uniform(0, 4 * 1024 * 1024 - 10001);
+    benchmark::DoNotOptimize(mgr->Read(*id, off, 10000, &buf));
+  }
+}
+BENCHMARK(BM_EndToEndRead10K);
+
+}  // namespace
+}  // namespace lob
+
+BENCHMARK_MAIN();

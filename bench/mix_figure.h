@@ -1,0 +1,87 @@
+// Shared driver for Figures 7-12: run the 40/30/30 random update mix over
+// a freshly built object for every (engine config, mean operation size)
+// pair and print one metric as a per-mark series.
+//
+// Mean operation sizes are the paper's 100 bytes, 10 K and 100 K, each
+// varied +/-50%; marks land every `window` operations and show the average
+// cost of the operations in the window that just ended (paper 4.4).
+
+#ifndef LOB_BENCH_MIX_FIGURE_H_
+#define LOB_BENCH_MIX_FIGURE_H_
+
+#include "bench/bench_common.h"
+
+namespace lob::bench {
+
+enum class MixMetric { kUtilization, kReadMs, kInsertMs, kDeleteMs };
+
+inline double GetMetric(const MixPoint& pt, MixMetric metric) {
+  switch (metric) {
+    case MixMetric::kUtilization:
+      return pt.utilization * 100.0;
+    case MixMetric::kReadMs:
+      return pt.avg_read_ms;
+    case MixMetric::kInsertMs:
+      return pt.avg_insert_ms;
+    case MixMetric::kDeleteMs:
+      return pt.avg_delete_ms;
+  }
+  return 0;
+}
+
+inline const char* MetricUnit(MixMetric metric) {
+  return metric == MixMetric::kUtilization ? "percent" : "ms per op";
+}
+
+inline int RunMixFigure(int argc, char** argv, const char* title,
+                        const char* reproduces,
+                        const std::vector<EngineSpec>& specs,
+                        MixMetric metric, const char* anchors) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const bool csv = FlagPresent(argc, argv, "csv");
+  if (!csv) {
+    PrintBanner(title, reproduces);
+    std::printf("object: %.1f MB, ops: %u (marks every %u)%s\n",
+                static_cast<double>(args.object_bytes) / 1048576.0, args.ops,
+                args.window, args.quick ? " (--quick)" : "");
+  } else {
+    std::printf("mean_op,ops,engine,value\n");
+  }
+
+  for (uint64_t mean_op : {100ull, 10000ull, 100000ull}) {
+    if (!csv) {
+      std::printf("\n--- mean operation size: %llu bytes (+/-50%%) ---\n",
+                  static_cast<unsigned long long>(mean_op));
+    }
+    std::vector<std::string> labels;
+    std::vector<std::vector<MixPoint>> series;
+    for (const auto& spec : specs) {
+      labels.push_back(spec.label);
+      series.push_back(RunMixFor(spec, args.object_bytes, mean_op, args.ops,
+                                 args.window)
+                           .points);
+    }
+    if (csv) {
+      // Machine-readable long format, one row per (mark, engine).
+      for (size_t k = 0; k < series.size(); ++k) {
+        for (const MixPoint& pt : series[k]) {
+          std::printf("%llu,%u,%s,%.3f\n",
+                      static_cast<unsigned long long>(mean_op), pt.ops_done,
+                      labels[k].c_str(), GetMetric(pt, metric));
+        }
+      }
+      continue;
+    }
+    PrintMixSeries(labels, series,
+                   [metric](const MixPoint& pt) {
+                     return GetMetric(pt, metric);
+                   },
+                   MetricUnit(metric));
+  }
+  if (!csv) std::printf("\npaper anchors: %s\n", anchors);
+  return 0;
+}
+
+}  // namespace lob::bench
+
+#endif  // LOB_BENCH_MIX_FIGURE_H_

@@ -1,0 +1,113 @@
+// Document-processing scenario (paper 1): a large text document that is
+// edited in place - paragraphs inserted, cut and pasted at arbitrary byte
+// positions. This is the workload that separates the three structures:
+// Starburst rewrites the document tail on every edit, ESM and EOS splice
+// segments locally.
+//
+// The example ingests a 5 MB "manuscript", applies 300 edits (insert a
+// paragraph / cut a range, 60/40), verifies the result against an
+// in-memory oracle, and reports per-engine edit costs and final storage
+// utilization.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "core/factory.h"
+#include "core/storage_system.h"
+#include "workload/workload.h"
+
+using namespace lob;
+
+namespace {
+
+constexpr uint64_t kManuscriptBytes = 5ull * 1024 * 1024;
+constexpr int kEdits = 300;
+
+std::string Paragraph(Rng* rng) {
+  static const char* words[] = {"segment", "buddy",  "page",   "object",
+                                "byte",    "extent", "shadow", "buffer"};
+  std::string out = "\n  ";
+  const int n = static_cast<int>(rng->Uniform(20, 120));
+  for (int i = 0; i < n; ++i) {
+    out += words[rng->Uniform(0, 7)];
+    out += ' ';
+  }
+  out += '\n';
+  return out;
+}
+
+void RunEditor(const char* name, LargeObjectManager* mgr,
+               StorageSystem* sys) {
+  auto id = mgr->Create();
+  LOB_CHECK_OK(id.status());
+
+  // Ingest the manuscript in editor-buffer-sized chunks.
+  Rng content_rng(2026);
+  std::string oracle;
+  while (oracle.size() < kManuscriptBytes) {
+    std::string chunk = Paragraph(&content_rng);
+    LOB_CHECK_OK(mgr->Append(*id, chunk));
+    oracle += chunk;
+  }
+
+  // Edit session.
+  Rng rng(7);
+  const IoStats before = sys->stats();
+  for (int i = 0; i < kEdits; ++i) {
+    if (rng.Bernoulli(0.6)) {
+      const std::string para = Paragraph(&rng);
+      const uint64_t at = rng.Uniform(0, oracle.size());
+      LOB_CHECK_OK(mgr->Insert(*id, at, para));
+      oracle.insert(at, para);
+    } else {
+      const uint64_t n = rng.Uniform(100, 2000);
+      const uint64_t at = rng.Uniform(0, oracle.size() - n);
+      LOB_CHECK_OK(mgr->Delete(*id, at, n));
+      oracle.erase(at, n);
+    }
+  }
+  const double edit_ms = (sys->stats() - before).ms / kEdits;
+
+  // Verify the stored document matches the oracle byte for byte.
+  std::string stored;
+  LOB_CHECK_OK(mgr->Read(*id, 0, oracle.size(), &stored));
+  const bool equal = stored == oracle;
+
+  auto stats = mgr->GetStorageStats(*id);
+  LOB_CHECK_OK(stats.status());
+  std::printf("%-14s %16.1f %15.1f%% %12s\n", name, edit_ms,
+              stats->Utilization(sys->config().page_size) * 100,
+              equal ? "verified" : "MISMATCH");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("document_editor: 5 MB manuscript, %d random edits\n\n",
+              kEdits);
+  std::printf("%-14s %16s %16s %12s\n", "engine", "edit cost [ms]",
+              "utilization", "content");
+  {
+    StorageSystem sys;
+    auto mgr = CreateEsmManager(&sys, 4);
+    RunEditor("ESM leaf=4", mgr.get(), &sys);
+  }
+  {
+    StorageSystem sys;
+    auto mgr = CreateEosManager(&sys, 4);
+    RunEditor("EOS T=4", mgr.get(), &sys);
+  }
+  {
+    StorageSystem sys;
+    auto mgr = CreateStarburstManager(&sys);
+    RunEditor("Starburst", mgr.get(), &sys);
+  }
+  std::printf(
+      "\nLength-changing edits are where Starburst's implicit-size\n"
+      "descriptor hurts: every edit copies the document tail, costing\n"
+      "orders of magnitude more than the local splices of ESM/EOS\n"
+      "(paper 4.4.3, Table 3).\n");
+  return 0;
+}

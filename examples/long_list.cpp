@@ -1,0 +1,102 @@
+// Long list scenario (paper 1): a general-purpose "insertable array"
+// stored as a large object - the way O2 stored large lists through the
+// WiSS large object manager. The example keeps a time series of samples
+// in a LongList, back-fills late-arriving samples in the middle, prunes a
+// range, and compares the per-operation modeled I/O cost across engines.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/factory.h"
+#include "core/long_list.h"
+#include "core/storage_system.h"
+
+using namespace lob;
+
+namespace {
+
+struct Sample {
+  uint64_t timestamp;
+  double value;
+};
+
+void Run(const char* name, StorageSystem* sys, LargeObjectManager* mgr) {
+  LongList list(mgr, sizeof(Sample));
+  auto id = list.Create();
+  LOB_CHECK_OK(id.status());
+
+  // Bulk-load one million samples.
+  const uint64_t kSamples = 1000000;
+  std::vector<Sample> batch(10000);
+  for (uint64_t base = 0; base < kSamples; base += batch.size()) {
+    for (uint64_t i = 0; i < batch.size(); ++i) {
+      batch[i] = {base + i, static_cast<double>((base + i) % 997)};
+    }
+    LOB_CHECK_OK(list.AppendMany(*id, batch.data(), batch.size()));
+  }
+  const double load_s = sys->stats().ms / 1000.0;
+
+  // Back-fill 100 late samples at random positions (length-changing
+  // inserts in the middle of the list).
+  Rng rng(3);
+  IoStats mark = sys->stats();
+  for (int i = 0; i < 100; ++i) {
+    auto size = list.Size(*id);
+    LOB_CHECK_OK(size.status());
+    Sample late{rng.Next(), -1.0};
+    LOB_CHECK_OK(list.Insert(*id, rng.Uniform(0, *size), &late));
+  }
+  const double insert_ms = (sys->stats() - mark).ms / 100.0;
+
+  // Random point lookups.
+  mark = sys->stats();
+  Sample out{};
+  for (int i = 0; i < 200; ++i) {
+    auto size = list.Size(*id);
+    LOB_CHECK_OK(size.status());
+    LOB_CHECK_OK(list.Get(*id, rng.Uniform(0, *size - 1), &out));
+  }
+  const double get_ms = (sys->stats() - mark).ms / 200.0;
+
+  // Prune the oldest 10% of the series.
+  mark = sys->stats();
+  auto size = list.Size(*id);
+  LOB_CHECK_OK(size.status());
+  for (uint64_t i = 0; i < *size / 10; i += 1000) {
+    LOB_CHECK_OK(mgr->Delete(*id, 0, 1000 * sizeof(Sample)));
+  }
+  const double prune_s = (sys->stats() - mark).ms / 1000.0;
+
+  std::printf("%-14s %10.1f %14.1f %12.1f %12.1f\n", name, load_s,
+              insert_ms, get_ms, prune_s);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "long_list: 1M fixed-size samples stored as an insertable array\n\n");
+  std::printf("%-14s %10s %14s %12s %12s\n", "engine", "load [s]",
+              "insert [ms]", "get [ms]", "prune [s]");
+  {
+    StorageSystem sys;
+    auto mgr = CreateEsmManager(&sys, 4);
+    Run("ESM leaf=4", &sys, mgr.get());
+  }
+  {
+    StorageSystem sys;
+    auto mgr = CreateEosManager(&sys, 4);
+    Run("EOS T=4", &sys, mgr.get());
+  }
+  {
+    StorageSystem sys;
+    auto mgr = CreateStarburstManager(&sys);
+    Run("Starburst", &sys, mgr.get());
+  }
+  std::printf(
+      "\nElement inserts in the middle of the list are cheap under ESM/EOS\n"
+      "and painful under Starburst - the trade-off the paper quantifies.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Multimedia scenario (paper 1, 2.2): a digitized recording is stored
+// once and then played back - sequential scans in frame-sized chunks,
+// plus random seeks ("frame-to-frame accessing of a movie"). Starburst
+// was designed for exactly this: large, mostly read-only objects.
+//
+// The example stores a simulated 20 MB recording with all three engines,
+// "plays" it (sequential scan in 32 KB frames), then performs random
+// frame seeks, and reports the modeled I/O time of each phase.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/factory.h"
+#include "core/storage_system.h"
+#include "workload/workload.h"
+
+using namespace lob;
+
+namespace {
+
+constexpr uint64_t kRecordingBytes = 20ull * 1024 * 1024;
+constexpr uint64_t kFrameBytes = 32 * 1024;
+
+struct Phase {
+  double ingest_s = 0;
+  double play_s = 0;
+  double seek_ms = 0;
+};
+
+Phase RunScenario(LargeObjectManager* mgr, StorageSystem* sys) {
+  Phase result;
+  auto id = mgr->Create();
+  LOB_CHECK_OK(id.status());
+
+  // Ingest: the recorder appends frame after frame.
+  auto build =
+      BuildObject(sys, mgr, *id, kRecordingBytes, kFrameBytes, /*seed=*/42);
+  LOB_CHECK_OK(build.status());
+  result.ingest_s = build->Seconds();
+
+  // Playback: scan the whole recording in display order.
+  auto scan = SequentialScan(sys, mgr, *id, kFrameBytes);
+  LOB_CHECK_OK(scan.status());
+  result.play_s = scan->Seconds();
+
+  // Interactive seeking: jump to 200 random frames.
+  Rng rng(7);
+  std::string frame;
+  const IoStats before = sys->stats();
+  const uint64_t frames = kRecordingBytes / kFrameBytes;
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t frame_no = rng.Uniform(0, frames - 1);
+    LOB_CHECK_OK(mgr->Read(*id, frame_no * kFrameBytes, kFrameBytes, &frame));
+  }
+  result.seek_ms = (sys->stats() - before).ms / 200.0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("multimedia_scan: 20 MB recording, 32 KB frames\n\n");
+  std::printf("%-14s %14s %14s %18s\n", "engine", "ingest [s]",
+              "playback [s]", "frame seek [ms]");
+
+  struct Config {
+    const char* name;
+    std::unique_ptr<LargeObjectManager> (*make)(StorageSystem*);
+  };
+  auto esm1 = [](StorageSystem* s) { return CreateEsmManager(s, 1); };
+  auto esm16 = [](StorageSystem* s) { return CreateEsmManager(s, 16); };
+  auto sb = [](StorageSystem* s) { return CreateStarburstManager(s); };
+  auto eos = [](StorageSystem* s) { return CreateEosManager(s, 16); };
+  const Config configs[] = {
+      {"ESM leaf=1", esm1},
+      {"ESM leaf=16", esm16},
+      {"Starburst", sb},
+      {"EOS T=16", eos},
+  };
+  for (const Config& c : configs) {
+    StorageSystem sys;
+    auto mgr = c.make(&sys);
+    Phase p = RunScenario(mgr.get(), &sys);
+    std::printf("%-14s %14.1f %14.1f %18.1f\n", c.name, p.ingest_s, p.play_s,
+                p.seek_ms);
+  }
+  std::printf(
+      "\nFor this read-mostly workload Starburst and EOS shine: large\n"
+      "physically contiguous segments keep playback near the transfer\n"
+      "rate, while 1-page ESM leaves pay a seek for every 4 KB page.\n");
+  return 0;
+}

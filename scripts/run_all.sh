@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build, test, and reproduce every experiment at the paper's parameters.
+# Usage: scripts/run_all.sh [--quick]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+QUICK="${1:-}"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for b in build/bench/*; do
+  name="$(basename "$b")"
+  [ -x "$b" ] || continue
+  [ -d "$b" ] && continue
+  echo "== $name =="
+  if [ "$name" = micro_substrates ]; then
+    "$b" --benchmark_min_time=0.1
+  else
+    "$b" $QUICK
+  fi
+done | tee results/full_bench.txt

@@ -1,0 +1,167 @@
+#include "buddy/buddy_tree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace lob {
+
+BuddyTree::BuddyTree(uint32_t order)
+    : order_(order),
+      n_blocks_(1u << order),
+      free_blocks_(1u << order),
+      longest_(size_t{2} << order, 0) {
+  LOB_CHECK_GE(order, 1u);
+  LOB_CHECK_LE(order, 24u);
+  for (uint32_t b = 0; b < n_blocks_; ++b) longest_[n_blocks_ + b] = 1;
+  RebuildAll();
+}
+
+void BuddyTree::RebuildAll() {
+  // Recompute every internal level bottom-up from the leaves.
+  uint32_t node_size = 2;
+  for (uint32_t i = n_blocks_ / 2;; i /= 2) {
+    for (uint32_t j = i; j < 2 * i; ++j) {
+      const uint32_t l = longest_[2 * j];
+      const uint32_t r = longest_[2 * j + 1];
+      longest_[j] = (l == node_size / 2 && r == node_size / 2)
+                        ? node_size
+                        : std::max(l, r);
+    }
+    node_size *= 2;
+    if (i == 1) break;
+  }
+}
+
+StatusOr<uint32_t> BuddyTree::Allocate(uint32_t n_blocks) {
+  if (n_blocks == 0) return Status::InvalidArgument("zero-block segment");
+  if (n_blocks > n_blocks_) {
+    return Status::NoSpace("segment larger than buddy space");
+  }
+  const uint32_t chunk = static_cast<uint32_t>(RoundUpPowerOfTwo(n_blocks));
+  if (longest_[1] < chunk) return Status::NoSpace("no free chunk");
+  // Root-to-leaf descent; best fit (smaller sufficient child first) keeps
+  // large chunks intact.
+  uint32_t node = 1;
+  uint32_t node_size = n_blocks_;
+  while (node_size > chunk) {
+    const uint32_t l = longest_[2 * node];
+    const uint32_t r = longest_[2 * node + 1];
+    const bool l_ok = l >= chunk;
+    const bool r_ok = r >= chunk;
+    LOB_CHECK(l_ok || r_ok);
+    if (l_ok && (!r_ok || l <= r)) {
+      node = 2 * node;
+    } else {
+      node = 2 * node + 1;
+    }
+    node_size /= 2;
+  }
+  LOB_CHECK_EQ(longest_[node], chunk);
+  // Starting block covered by `node`: strip the leading 1 bit of the node
+  // index and scale by the node size.
+  const uint32_t level_index = node - (n_blocks_ / node_size);
+  const uint32_t start = level_index * node_size;
+  // Claim only the blocks requested; the tail of the chunk stays free
+  // (trimming).
+  SetRange(start, start + n_blocks, /*free=*/false);
+  return start;
+}
+
+Status BuddyTree::Free(uint32_t start, uint32_t n_blocks) {
+  if (n_blocks == 0) return Status::InvalidArgument("zero-block free");
+  if (start >= n_blocks_ || n_blocks > n_blocks_ - start) {
+    return Status::InvalidArgument("free range outside buddy space");
+  }
+  for (uint32_t b = start; b < start + n_blocks; ++b) {
+    if (longest_[n_blocks_ + b] != 0) {
+      return Status::Corruption("double free of block");
+    }
+  }
+  SetRange(start, start + n_blocks, /*free=*/true);
+  return Status::OK();
+}
+
+void BuddyTree::SetRange(uint32_t lo, uint32_t hi, bool free) {
+  LOB_CHECK_LT(lo, hi);
+  for (uint32_t b = lo; b < hi; ++b) {
+    uint32_t& leaf = longest_[n_blocks_ + b];
+    LOB_CHECK(free ? leaf == 0 : leaf == 1);
+    leaf = free ? 1 : 0;
+  }
+  free_blocks_ += free ? (hi - lo) : 0;
+  free_blocks_ -= free ? 0 : (hi - lo);
+  // Update ancestors of the touched leaves, level by level.
+  uint32_t lo_i = (n_blocks_ + lo) / 2;
+  uint32_t hi_i = (n_blocks_ + hi - 1) / 2;
+  uint32_t node_size = 2;
+  while (lo_i >= 1) {
+    for (uint32_t j = lo_i; j <= hi_i; ++j) {
+      const uint32_t l = longest_[2 * j];
+      const uint32_t r = longest_[2 * j + 1];
+      longest_[j] = (l == node_size / 2 && r == node_size / 2)
+                        ? node_size
+                        : std::max(l, r);
+    }
+    if (lo_i == 1) break;
+    lo_i /= 2;
+    hi_i /= 2;
+    node_size *= 2;
+  }
+}
+
+bool BuddyTree::IsFree(uint32_t b) const {
+  LOB_CHECK_LT(b, n_blocks_);
+  return longest_[n_blocks_ + b] == 1;
+}
+
+void BuddyTree::SerializeBitmap(char* out) const {
+  std::memset(out, 0, BitmapBytes());
+  for (uint32_t b = 0; b < n_blocks_; ++b) {
+    if (IsFree(b)) {
+      out[b / 8] = static_cast<char>(out[b / 8] | (1 << (b % 8)));
+    }
+  }
+}
+
+BuddyTree BuddyTree::FromBitmap(uint32_t order, const char* bitmap) {
+  BuddyTree tree(order);
+  uint32_t free_count = 0;
+  for (uint32_t b = 0; b < tree.n_blocks_; ++b) {
+    const bool free = (bitmap[b / 8] >> (b % 8)) & 1;
+    tree.longest_[tree.n_blocks_ + b] = free ? 1 : 0;
+    free_count += free ? 1 : 0;
+  }
+  tree.free_blocks_ = free_count;
+  tree.RebuildAll();
+  return tree;
+}
+
+bool BuddyTree::CheckInvariants() const {
+  uint32_t free_count = 0;
+  std::vector<uint32_t> expect(longest_.size(), 0);
+  for (uint32_t b = 0; b < n_blocks_; ++b) {
+    expect[n_blocks_ + b] = longest_[n_blocks_ + b];
+    if (expect[n_blocks_ + b] > 1) return false;
+    free_count += expect[n_blocks_ + b];
+  }
+  if (free_count != free_blocks_) return false;
+  uint32_t node_size = 2;
+  for (uint32_t i = n_blocks_ / 2;; i /= 2) {
+    for (uint32_t j = i; j < 2 * i; ++j) {
+      const uint32_t l = expect[2 * j];
+      const uint32_t r = expect[2 * j + 1];
+      expect[j] = (l == node_size / 2 && r == node_size / 2)
+                      ? node_size
+                      : std::max(l, r);
+      if (expect[j] != longest_[j]) return false;
+    }
+    node_size *= 2;
+    if (i == 1) break;
+  }
+  return true;
+}
+
+}  // namespace lob

@@ -1,0 +1,82 @@
+// BuddyTree: binary buddy allocation state for one buddy space (paper 3.1).
+//
+// A buddy space is a fixed-length sequence of 2^order physically adjacent
+// blocks whose allocation state is summarized in a 1-block directory. The
+// tree tracks, for every aligned power-of-two region, the size of the
+// largest free *aligned* power-of-two chunk inside it, so allocation is a
+// single root-to-leaf descent.
+//
+// Two properties the paper calls out are supported directly:
+//  * a client may request a segment of ANY size; the request is satisfied
+//    from a rounded-up power-of-two chunk and the unused tail blocks are
+//    immediately trimmed (freed), "down to the precision of one block";
+//  * a client may selectively free any portion of a previously allocated
+//    segment, not necessarily the whole segment.
+
+#ifndef LOB_BUDDY_BUDDY_TREE_H_
+#define LOB_BUDDY_BUDDY_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lob {
+
+/// Allocation state of one buddy space. Purely in-memory; serializes to a
+/// free-block bitmap that fits in the space's directory block.
+class BuddyTree {
+ public:
+  /// Creates a fully free space of 2^order blocks.
+  explicit BuddyTree(uint32_t order);
+
+  /// Allocates `n_blocks` (any size in [1, 2^order]). Internally a
+  /// power-of-two chunk is carved and its tail trimmed. On success returns
+  /// the starting block. Fails with NoSpace when no aligned chunk of
+  /// RoundUpPowerOfTwo(n_blocks) blocks is free.
+  StatusOr<uint32_t> Allocate(uint32_t n_blocks);
+
+  /// Frees `n_blocks` starting at `start`. The range may be any sub-range
+  /// of previously allocated blocks. Freeing a free block is Corruption.
+  Status Free(uint32_t start, uint32_t n_blocks);
+
+  /// Size in blocks of the largest free aligned chunk (0 when full).
+  uint32_t LargestFree() const { return longest_[1]; }
+
+  uint32_t free_blocks() const { return free_blocks_; }
+  uint32_t total_blocks() const { return n_blocks_; }
+  uint32_t order() const { return order_; }
+
+  /// True iff block `b` is free.
+  bool IsFree(uint32_t b) const;
+
+  /// Writes the free-block bitmap (1 bit per block, LSB-first within each
+  /// byte, 1 = free) into `out`, which must hold BitmapBytes() bytes.
+  void SerializeBitmap(char* out) const;
+
+  /// Rebuilds allocation state from a bitmap produced by SerializeBitmap.
+  static BuddyTree FromBitmap(uint32_t order, const char* bitmap);
+
+  /// Bytes needed by the bitmap for a space of this order.
+  size_t BitmapBytes() const { return (size_t{n_blocks_} + 7) / 8; }
+
+  /// Recomputes the summary tree from the leaves and verifies it matches;
+  /// used by tests.
+  bool CheckInvariants() const;
+
+ private:
+  void SetRange(uint32_t lo, uint32_t hi, bool free);
+  void RebuildAll();
+
+  uint32_t order_;
+  uint32_t n_blocks_;
+  uint32_t free_blocks_;
+  // Heap-shaped array; longest_[i] = largest free aligned chunk (in blocks)
+  // within the region covered by node i. Node 1 is the root; leaves are
+  // nodes [n_blocks_, 2 * n_blocks_).
+  std::vector<uint32_t> longest_;
+};
+
+}  // namespace lob
+
+#endif  // LOB_BUDDY_BUDDY_TREE_H_

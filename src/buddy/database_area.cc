@@ -1,0 +1,131 @@
+#include "buddy/database_area.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace lob {
+
+DatabaseArea::DatabaseArea(BufferPool* pool, AreaId area,
+                           const StorageConfig& config)
+    : pool_(pool),
+      area_(area),
+      config_(config),
+      blocks_per_space_(1u << config.buddy_space_order) {
+  // The allocation bitmap of a full space must fit in the 1-block directory.
+  LOB_CHECK_LE(blocks_per_space_ / 8, config_.page_size);
+}
+
+Status DatabaseArea::AddSpace() {
+  const uint32_t space = static_cast<uint32_t>(spaces_.size());
+  spaces_.push_back(std::make_unique<BuddyTree>(config_.buddy_space_order));
+  hints_.push_back(blocks_per_space_);
+  // Initialize the on-disk directory (an all-free bitmap).
+  auto guard = pool_->FixPage(area_, DirectoryPage(space), FixMode::kNew);
+  if (!guard.ok()) return guard.status();
+  spaces_[space]->SerializeBitmap(guard->data());
+  guard->MarkDirty();
+  return Status::OK();
+}
+
+StatusOr<Segment> DatabaseArea::Allocate(uint32_t n_pages) {
+  if (n_pages == 0) return Status::InvalidArgument("zero-page segment");
+  if (n_pages > blocks_per_space_) {
+    return Status::NoSpace("segment exceeds buddy space capacity");
+  }
+  const uint32_t chunk = static_cast<uint32_t>(RoundUpPowerOfTwo(n_pages));
+  for (uint32_t s = 0; s < spaces_.size(); ++s) {
+    // Superdirectory check: skip spaces that cannot satisfy the request
+    // without touching their directory block.
+    if (hints_[s] < chunk) continue;
+    // Visit the directory block (through the pool; cost emerges here).
+    auto guard = pool_->FixPage(area_, DirectoryPage(s), FixMode::kRead);
+    if (!guard.ok()) return guard.status();
+    auto start_or = spaces_[s]->Allocate(n_pages);
+    hints_[s] = spaces_[s]->LargestFree();
+    if (!start_or.ok()) {
+      // Wrong superdirectory guess; the hint is now corrected.
+      continue;
+    }
+    spaces_[s]->SerializeBitmap(guard->data());
+    guard->MarkDirty();
+    return Segment{DataBase(s) + *start_or, n_pages};
+  }
+  // No existing space can hold the segment: extend the area.
+  LOB_RETURN_IF_ERROR(AddSpace());
+  const uint32_t s = static_cast<uint32_t>(spaces_.size() - 1);
+  auto guard = pool_->FixPage(area_, DirectoryPage(s), FixMode::kRead);
+  if (!guard.ok()) return guard.status();
+  auto start_or = spaces_[s]->Allocate(n_pages);
+  if (!start_or.ok()) return start_or.status();
+  hints_[s] = spaces_[s]->LargestFree();
+  spaces_[s]->SerializeBitmap(guard->data());
+  guard->MarkDirty();
+  return Segment{DataBase(s) + *start_or, n_pages};
+}
+
+Status DatabaseArea::Free(PageId first_page, uint32_t n_pages) {
+  if (n_pages == 0) return Status::InvalidArgument("zero-page free");
+  const uint32_t stride = blocks_per_space_ + 1;
+  const uint32_t space = first_page / stride;
+  if (space >= spaces_.size()) {
+    return Status::InvalidArgument("free outside any buddy space");
+  }
+  if (first_page % stride == 0) {
+    return Status::InvalidArgument("cannot free a directory block");
+  }
+  const uint32_t block = first_page - DataBase(space);
+  if (block + n_pages > blocks_per_space_) {
+    return Status::InvalidArgument("free range crosses buddy spaces");
+  }
+  auto guard = pool_->FixPage(area_, DirectoryPage(space), FixMode::kRead);
+  if (!guard.ok()) return guard.status();
+  LOB_RETURN_IF_ERROR(spaces_[space]->Free(block, n_pages));
+  hints_[space] = spaces_[space]->LargestFree();
+  spaces_[space]->SerializeBitmap(guard->data());
+  guard->MarkDirty();
+  return Status::OK();
+}
+
+Status DatabaseArea::RecoverSpaces(const SimDisk& disk) {
+  if (!spaces_.empty()) {
+    return Status::Internal("recover requires a fresh area");
+  }
+  const uint32_t stride = blocks_per_space_ + 1;
+  const PageId high = disk.AreaHighWater(area_);
+  const uint32_t n_spaces = (high + stride - 1) / stride;
+  for (uint32_t s = 0; s < n_spaces; ++s) {
+    auto guard = pool_->FixPage(area_, DirectoryPage(s), FixMode::kRead);
+    if (!guard.ok()) return guard.status();
+    spaces_.push_back(std::make_unique<BuddyTree>(
+        BuddyTree::FromBitmap(config_.buddy_space_order, guard->data())));
+    hints_.push_back(spaces_.back()->LargestFree());
+  }
+  return Status::OK();
+}
+
+uint64_t DatabaseArea::allocated_pages() const {
+  uint64_t used = 0;
+  for (const auto& space : spaces_) {
+    used += space->total_blocks() - space->free_blocks();
+  }
+  return used;
+}
+
+bool DatabaseArea::IsAllocated(PageId page) const {
+  const uint32_t stride = blocks_per_space_ + 1;
+  const uint32_t space = page / stride;
+  if (space >= spaces_.size()) return false;
+  if (page % stride == 0) return true;  // directory block
+  return !spaces_[space]->IsFree(page - DataBase(space));
+}
+
+bool DatabaseArea::CheckInvariants() const {
+  for (const auto& space : spaces_) {
+    if (!space->CheckInvariants()) return false;
+  }
+  return true;
+}
+
+}  // namespace lob

@@ -1,0 +1,101 @@
+// DatabaseArea: a disk area whose space is managed by the buddy system
+// (paper 3.1).
+//
+// An area consists of a number of buddy spaces. Each space is a fixed-length
+// sequence of physically adjacent blocks preceded by a 1-block directory
+// holding the space's allocation bitmap. A main-memory *superdirectory*
+// records (an upper bound on) the largest free segment in each space so
+// that allocation requests skip spaces that cannot possibly satisfy them;
+// in steady state an allocation or deallocation touches at most one
+// directory block, regardless of the database size.
+//
+// Directory blocks are accessed through the buffer pool, so their I/O cost
+// emerges naturally: a hot directory costs nothing, a cold one costs one
+// page read, and modified directories are written back on eviction or
+// flush.
+
+#ifndef LOB_BUDDY_DATABASE_AREA_H_
+#define LOB_BUDDY_DATABASE_AREA_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "buddy/buddy_tree.h"
+#include "buffer/buffer_pool.h"
+#include "common/config.h"
+#include "common/status.h"
+#include "iomodel/sim_disk.h"
+
+namespace lob {
+
+/// A run of physically adjacent pages returned by the allocator.
+struct Segment {
+  PageId first_page = kInvalidPage;  ///< area-relative page number
+  uint32_t pages = 0;
+};
+
+/// Buddy-managed database area. Grows by appending buddy spaces on demand.
+class DatabaseArea {
+ public:
+  /// `area` must be an id obtained from disk->CreateArea(). The pool is
+  /// used for directory-block I/O.
+  DatabaseArea(BufferPool* pool, AreaId area, const StorageConfig& config);
+
+  DatabaseArea(const DatabaseArea&) = delete;
+  DatabaseArea& operator=(const DatabaseArea&) = delete;
+
+  /// Allocates a segment of exactly `n_pages` physically adjacent pages
+  /// (internally a power-of-two chunk with the tail trimmed).
+  StatusOr<Segment> Allocate(uint32_t n_pages);
+
+  /// Frees any sub-range of previously allocated pages.
+  Status Free(PageId first_page, uint32_t n_pages);
+
+  /// Frees a whole segment.
+  Status Free(const Segment& seg) { return Free(seg.first_page, seg.pages); }
+
+  AreaId id() const { return area_; }
+
+  /// Largest segment this area can ever allocate, in pages.
+  uint32_t max_segment_pages() const { return 1u << config_.buddy_space_order; }
+
+  uint32_t num_spaces() const { return static_cast<uint32_t>(spaces_.size()); }
+
+  /// Pages currently allocated to segments (excludes directory blocks).
+  uint64_t allocated_pages() const;
+
+  /// Superdirectory entry for space `i` (largest free chunk, in blocks).
+  uint32_t SuperdirectoryHint(uint32_t i) const { return hints_[i]; }
+
+  /// True iff the area-relative page is currently allocated (test helper).
+  bool IsAllocated(PageId page) const;
+
+  /// Verifies every space's buddy tree invariants (test helper).
+  bool CheckInvariants() const;
+
+  /// Rebuilds allocator state from the directory blocks already present on
+  /// the underlying disk (used when reopening a saved database image).
+  /// Must be called on a freshly constructed area.
+  Status RecoverSpaces(const SimDisk& disk);
+
+ private:
+  PageId DirectoryPage(uint32_t space) const {
+    return space * (blocks_per_space_ + 1);
+  }
+  PageId DataBase(uint32_t space) const { return DirectoryPage(space) + 1; }
+
+  /// Creates space `spaces_.size()` with a fresh all-free directory.
+  Status AddSpace();
+
+  BufferPool* pool_;
+  AreaId area_;
+  StorageConfig config_;
+  uint32_t blocks_per_space_;
+  std::vector<std::unique_ptr<BuddyTree>> spaces_;
+  std::vector<uint32_t> hints_;  ///< superdirectory (main-memory only)
+};
+
+}  // namespace lob
+
+#endif  // LOB_BUDDY_DATABASE_AREA_H_

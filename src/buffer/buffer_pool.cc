@@ -1,0 +1,461 @@
+#include "buffer/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace lob {
+
+// ---------------------------------------------------------------- PageGuard
+
+PageGuard::PageGuard(BufferPool* pool, uint32_t slot, char* data)
+    : pool_(pool), slot_(slot), data_(data) {}
+
+PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_), slot_(other.slot_), data_(other.data_) {
+  other.pool_ = nullptr;
+  other.data_ = nullptr;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    slot_ = other.slot_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+PageGuard::~PageGuard() { Release(); }
+
+void PageGuard::MarkDirty() {
+  LOB_CHECK(pool_ != nullptr);
+  pool_->frames_[slot_].dirty = true;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(slot_);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+// --------------------------------------------------------------- BufferPool
+
+BufferPool::BufferPool(SimDisk* disk, const StorageConfig& config)
+    : disk_(disk), config_(config) {
+  LOB_CHECK_GE(config_.buffer_pool_pages, 2u);
+  LOB_CHECK_LE(config_.max_pool_segment_pages, config_.buffer_pool_pages);
+  arena_.resize(static_cast<size_t>(config_.buffer_pool_pages) *
+                config_.page_size);
+  frames_.resize(config_.buffer_pool_pages);
+}
+
+int BufferPool::FindSlot(AreaId area, PageId page) const {
+  auto it = map_.find(Key(area, page));
+  return it == map_.end() ? -1 : static_cast<int>(it->second);
+}
+
+void BufferPool::Unpin(uint32_t slot) {
+  Frame& f = frames_[slot];
+  LOB_CHECK_GT(f.pins, 0u);
+  f.pins--;
+}
+
+Status BufferPool::EvictSlot(uint32_t slot) {
+  Frame& f = frames_[slot];
+  if (!f.valid) return Status::OK();
+  if (f.pins != 0) return Status::Internal("evicting pinned page");
+  if (f.dirty) {
+    LOB_RETURN_IF_ERROR(disk_->Write(f.area, f.page, 1, SlotData(slot)));
+  }
+  map_.erase(Key(f.area, f.page));
+  f.valid = false;
+  f.dirty = false;
+  return Status::OK();
+}
+
+StatusOr<uint32_t> BufferPool::GetFreeSlot() {
+  // Invalid frame first; then LRU among unpinned clean frames; then LRU
+  // among unpinned dirty frames (paper 3.2: free least recently used clean
+  // pages followed by dirty pages).
+  int best_invalid = -1;
+  int best_clean = -1;
+  int best_dirty = -1;
+  for (uint32_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (!f.valid) {
+      best_invalid = static_cast<int>(i);
+      break;
+    }
+    if (f.pins != 0) continue;
+    if (!f.dirty) {
+      if (best_clean < 0 || f.lru < frames_[static_cast<uint32_t>(
+                                         best_clean)].lru) {
+        best_clean = static_cast<int>(i);
+      }
+    } else {
+      if (best_dirty < 0 || f.lru < frames_[static_cast<uint32_t>(
+                                         best_dirty)].lru) {
+        best_dirty = static_cast<int>(i);
+      }
+    }
+  }
+  int victim = best_invalid >= 0 ? best_invalid
+               : best_clean >= 0 ? best_clean
+                                 : best_dirty;
+  if (victim < 0) return Status::NoSpace("all buffer frames are pinned");
+  LOB_RETURN_IF_ERROR(EvictSlot(static_cast<uint32_t>(victim)));
+  return static_cast<uint32_t>(victim);
+}
+
+StatusOr<PageGuard> BufferPool::FixPage(AreaId area, PageId page,
+                                        FixMode mode) {
+  int existing = FindSlot(area, page);
+  if (existing >= 0) {
+    uint32_t slot = static_cast<uint32_t>(existing);
+    Frame& f = frames_[slot];
+    f.pins++;
+    f.lru = ++tick_;
+    hits_++;
+    return PageGuard(this, slot, SlotData(slot));
+  }
+  auto slot_or = GetFreeSlot();
+  if (!slot_or.ok()) return slot_or.status();
+  uint32_t slot = *slot_or;
+  Frame& f = frames_[slot];
+  if (mode == FixMode::kRead) {
+    LOB_RETURN_IF_ERROR(disk_->Read(area, page, 1, SlotData(slot)));
+    misses_++;
+  } else {
+    std::memset(SlotData(slot), 0, config_.page_size);
+  }
+  f.area = area;
+  f.page = page;
+  f.valid = true;
+  f.dirty = false;
+  f.pins = 1;
+  f.lru = ++tick_;
+  map_[Key(area, page)] = slot;
+  return PageGuard(this, slot, SlotData(slot));
+}
+
+Status BufferPool::FlushAndDropRange(AreaId area, PageId first,
+                                     uint32_t n_pages) {
+  for (uint32_t i = 0; i < n_pages; ++i) {
+    int s = FindSlot(area, first + i);
+    if (s < 0) continue;
+    Frame& f = frames_[static_cast<uint32_t>(s)];
+    if (f.pins != 0) return Status::Internal("page pinned during drop");
+    LOB_RETURN_IF_ERROR(EvictSlot(static_cast<uint32_t>(s)));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::ReadSegmentRange(AreaId area, PageId seg_first,
+                                    uint64_t seg_valid_bytes,
+                                    uint64_t byte_off, uint64_t n_bytes,
+                                    char* dst) {
+  if (n_bytes == 0) return Status::OK();
+  if (byte_off + n_bytes > seg_valid_bytes) {
+    return Status::OutOfRange("read past segment valid bytes");
+  }
+  const uint64_t P = config_.page_size;
+  const PageId p0 = seg_first + static_cast<PageId>(byte_off / P);
+  const PageId p1 =
+      seg_first + static_cast<PageId>((byte_off + n_bytes - 1) / P);
+  const uint32_t np = p1 - p0 + 1;
+
+  if (np <= config_.max_pool_segment_pages) {
+    // Buffered path: make sure the run is cached. If any page misses, the
+    // whole run is (re)fetched with a single I/O call into a contiguous
+    // frame window; if no window can be freed, fall back to page-at-a-time.
+    bool all_cached = true;
+    for (PageId p = p0; p <= p1; ++p) {
+      if (FindSlot(area, p) < 0) {
+        all_cached = false;
+        break;
+      }
+    }
+    if (!all_cached) {
+      Status loaded = Status::NoSpace("");
+      // Find a window of np contiguous unpinned slots.
+      for (uint32_t w = 0; w + np <= frames_.size(); ++w) {
+        bool usable = true;
+        for (uint32_t i = 0; i < np; ++i) {
+          if (frames_[w + i].pins != 0) {
+            usable = false;
+            break;
+          }
+        }
+        if (!usable) continue;
+        LOB_RETURN_IF_ERROR(FlushAndDropRange(area, p0, np));
+        for (uint32_t i = 0; i < np; ++i) {
+          LOB_RETURN_IF_ERROR(EvictSlot(w + i));
+        }
+        LOB_RETURN_IF_ERROR(disk_->Read(area, p0, np, SlotData(w)));
+        misses_++;
+        for (uint32_t i = 0; i < np; ++i) {
+          Frame& f = frames_[w + i];
+          f.area = area;
+          f.page = p0 + i;
+          f.valid = true;
+          f.dirty = false;
+          f.pins = 0;
+          f.lru = ++tick_;
+          map_[Key(area, p0 + i)] = w + i;
+        }
+        loaded = Status::OK();
+        break;
+      }
+      if (!loaded.ok()) {
+        // Degenerate fallback: everything else is pinned; fetch page by
+        // page (one seek each), copying while the pin is held since a
+        // later fetch may evict an earlier page again.
+        uint64_t copied = 0;
+        for (PageId p = p0; p <= p1; ++p) {
+          auto g = FixPage(area, p, FixMode::kRead);
+          if (!g.ok()) return g.status();
+          const uint64_t page_begin =
+              static_cast<uint64_t>(p - seg_first) * P;
+          const uint64_t lo = std::max(byte_off, page_begin);
+          const uint64_t hi = std::min(byte_off + n_bytes, page_begin + P);
+          std::memcpy(dst + (lo - byte_off), g->data() + (lo - page_begin),
+                      hi - lo);
+          copied += hi - lo;
+        }
+        LOB_CHECK_EQ(copied, n_bytes);
+        return Status::OK();
+      }
+    }
+    // Copy the requested bytes out of the frames.
+    uint64_t copied = 0;
+    for (PageId p = p0; p <= p1; ++p) {
+      int s = FindSlot(area, p);
+      LOB_CHECK_GE(s, 0);
+      frames_[static_cast<uint32_t>(s)].lru = ++tick_;
+      const uint64_t page_begin = static_cast<uint64_t>(p - seg_first) * P;
+      const uint64_t lo = std::max(byte_off, page_begin);
+      const uint64_t hi = std::min(byte_off + n_bytes, page_begin + P);
+      std::memcpy(dst + (lo - byte_off),
+                  SlotData(static_cast<uint32_t>(s)) + (lo - page_begin),
+                  hi - lo);
+      copied += hi - lo;
+    }
+    LOB_CHECK_EQ(copied, n_bytes);
+    return Status::OK();
+  }
+
+  // Unbuffered path with 3-step boundary handling (paper Figure 4).
+  uint64_t remaining = n_bytes;
+  char* out = dst;
+  PageId mid_first = p0;
+  PageId mid_last = p1;
+  if (byte_off % P != 0) {
+    // Partial first block travels through the pool.
+    auto g = FixPage(area, p0, FixMode::kRead);
+    if (!g.ok()) return g.status();
+    const uint64_t in_page = byte_off % P;
+    const uint64_t take = std::min(P - in_page, remaining);
+    std::memcpy(out, g->data() + in_page, take);
+    out += take;
+    remaining -= take;
+    mid_first = p0 + 1;
+  }
+  const bool tail_partial = (byte_off + n_bytes) % P != 0 && remaining > 0;
+  uint64_t tail_take = 0;
+  if (tail_partial) {
+    tail_take = (byte_off + n_bytes) % P;
+    mid_last = p1 - 1;
+  }
+  if (mid_first <= mid_last && remaining > tail_take) {
+    const uint32_t count = mid_last - mid_first + 1;
+    // Keep direct I/O coherent with the pool: write back any dirty cached
+    // copies first (clean cached copies already match the disk image).
+    for (uint32_t i = 0; i < count; ++i) {
+      int s = FindSlot(area, mid_first + i);
+      if (s >= 0 && frames_[static_cast<uint32_t>(s)].dirty) {
+        Frame& f = frames_[static_cast<uint32_t>(s)];
+        LOB_RETURN_IF_ERROR(
+            disk_->Write(f.area, f.page, 1, SlotData(static_cast<uint32_t>(s))));
+        f.dirty = false;
+      }
+    }
+    LOB_RETURN_IF_ERROR(disk_->Read(area, mid_first, count, out));
+    const uint64_t moved = static_cast<uint64_t>(count) * P;
+    out += moved;
+    remaining -= moved;
+  }
+  if (remaining > 0) {
+    // Partial last block through the pool.
+    LOB_CHECK_EQ(remaining, tail_take);
+    auto g = FixPage(area, p1, FixMode::kRead);
+    if (!g.ok()) return g.status();
+    std::memcpy(out, g->data(), remaining);
+  }
+  return Status::OK();
+}
+
+Status BufferPool::WriteSegmentRange(AreaId area, PageId seg_first,
+                                     uint64_t seg_valid_bytes,
+                                     uint64_t byte_off, uint64_t n_bytes,
+                                     const char* src) {
+  if (n_bytes == 0) return Status::OK();
+  const uint64_t P = config_.page_size;
+  const PageId p0 = seg_first + static_cast<PageId>(byte_off / P);
+  const PageId p1 =
+      seg_first + static_cast<PageId>((byte_off + n_bytes - 1) / P);
+  const uint32_t np = p1 - p0 + 1;
+
+  // Does page p (absolute) hold valid bytes outside the written interval?
+  auto needs_read = [&](PageId p) {
+    const uint64_t page_begin = static_cast<uint64_t>(p - seg_first) * P;
+    const uint64_t valid_hi = std::min(seg_valid_bytes, page_begin + P);
+    if (valid_hi <= page_begin) return false;  // no valid bytes on the page
+    const uint64_t w_lo = std::max(byte_off, page_begin);
+    const uint64_t w_hi = std::min(byte_off + n_bytes, page_begin + P);
+    return page_begin < w_lo || w_hi < valid_hi;
+  };
+
+  if (np <= config_.max_pool_segment_pages) {
+    // Buffered: stage into frames; the caller flushes at operation end.
+    for (PageId p = p0; p <= p1; ++p) {
+      auto g = FixPage(area, p,
+                       needs_read(p) ? FixMode::kRead : FixMode::kNew);
+      if (!g.ok()) return g.status();
+      const uint64_t page_begin = static_cast<uint64_t>(p - seg_first) * P;
+      const uint64_t lo = std::max(byte_off, page_begin);
+      const uint64_t hi = std::min(byte_off + n_bytes, page_begin + P);
+      std::memcpy(g->data() + (lo - page_begin), src + (lo - byte_off),
+                  hi - lo);
+      g->MarkDirty();
+    }
+    return Status::OK();
+  }
+
+  // Unbuffered: assemble the full run and write it with one I/O call.
+  // Boundary pages that keep valid bytes outside the write travel through
+  // the pool (3-step I/O, paper Figure 4); middle pages are fully covered.
+  std::vector<char> temp(static_cast<size_t>(np) * P, 0);
+  for (PageId p : {p0, p1}) {
+    if (!needs_read(p)) continue;
+    auto g = FixPage(area, p, FixMode::kRead);
+    if (!g.ok()) return g.status();
+    std::memcpy(temp.data() + static_cast<size_t>(p - p0) * P, g->data(), P);
+  }
+  const uint64_t run_begin = static_cast<uint64_t>(p0 - seg_first) * P;
+  std::memcpy(temp.data() + (byte_off - run_begin), src, n_bytes);
+  LOB_RETURN_IF_ERROR(disk_->Write(area, p0, np, temp.data()));
+  // Refresh any cached copies so the pool stays coherent.
+  for (PageId p = p0; p <= p1; ++p) {
+    int s = FindSlot(area, p);
+    if (s < 0) continue;
+    Frame& f = frames_[static_cast<uint32_t>(s)];
+    std::memcpy(SlotData(static_cast<uint32_t>(s)),
+                temp.data() + static_cast<size_t>(p - p0) * P, P);
+    f.dirty = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::WriteFreshSegment(AreaId area, PageId first,
+                                     const char* data, uint64_t n_bytes) {
+  if (n_bytes == 0) return Status::OK();
+  const uint64_t P = config_.page_size;
+  const uint32_t np = static_cast<uint32_t>((n_bytes + P - 1) / P);
+  std::vector<char> temp(static_cast<size_t>(np) * P, 0);
+  std::memcpy(temp.data(), data, n_bytes);
+  LOB_RETURN_IF_ERROR(disk_->Write(area, first, np, temp.data()));
+  for (uint32_t i = 0; i < np; ++i) {
+    int s = FindSlot(area, first + i);
+    if (s < 0) continue;
+    Frame& f = frames_[static_cast<uint32_t>(s)];
+    std::memcpy(SlotData(static_cast<uint32_t>(s)),
+                temp.data() + static_cast<size_t>(i) * P, P);
+    f.dirty = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushRun(AreaId area, PageId first, uint32_t n_pages) {
+  uint32_t i = 0;
+  while (i < n_pages) {
+    int s = FindSlot(area, first + i);
+    if (s < 0 || !frames_[static_cast<uint32_t>(s)].dirty) {
+      ++i;
+      continue;
+    }
+    // Maximal contiguous dirty run starting at first + i.
+    uint32_t j = i;
+    while (j < n_pages) {
+      int sj = FindSlot(area, first + j);
+      if (sj < 0 || !frames_[static_cast<uint32_t>(sj)].dirty) break;
+      ++j;
+    }
+    const uint32_t count = j - i;
+    std::vector<char> temp(static_cast<size_t>(count) * config_.page_size);
+    for (uint32_t k = 0; k < count; ++k) {
+      int sk = FindSlot(area, first + i + k);
+      LOB_CHECK_GE(sk, 0);
+      std::memcpy(temp.data() + static_cast<size_t>(k) * config_.page_size,
+                  SlotData(static_cast<uint32_t>(sk)), config_.page_size);
+    }
+    LOB_RETURN_IF_ERROR(disk_->Write(area, first + i, count, temp.data()));
+    for (uint32_t k = 0; k < count; ++k) {
+      int sk = FindSlot(area, first + i + k);
+      frames_[static_cast<uint32_t>(sk)].dirty = false;
+    }
+    i = j;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  // Collect dirty pages, sorted, and flush maximal contiguous runs.
+  std::vector<std::pair<uint64_t, uint32_t>> dirty;  // (key, slot)
+  for (uint32_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.valid && f.dirty) dirty.emplace_back(Key(f.area, f.page), i);
+  }
+  std::sort(dirty.begin(), dirty.end());
+  size_t i = 0;
+  while (i < dirty.size()) {
+    size_t j = i + 1;
+    while (j < dirty.size() && dirty[j].first == dirty[j - 1].first + 1) ++j;
+    const Frame& f0 = frames_[dirty[i].second];
+    LOB_RETURN_IF_ERROR(
+        FlushRun(f0.area, f0.page, static_cast<uint32_t>(j - i)));
+    i = j;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Invalidate(AreaId area, PageId first, uint32_t n_pages) {
+  for (uint32_t i = 0; i < n_pages; ++i) {
+    int s = FindSlot(area, first + i);
+    if (s < 0) continue;
+    Frame& f = frames_[static_cast<uint32_t>(s)];
+    if (f.pins != 0) return Status::Internal("invalidating pinned page");
+    map_.erase(Key(f.area, f.page));
+    f.valid = false;
+    f.dirty = false;
+  }
+  return Status::OK();
+}
+
+bool BufferPool::IsCached(AreaId area, PageId page) const {
+  return FindSlot(area, page) >= 0;
+}
+
+bool BufferPool::IsDirty(AreaId area, PageId page) const {
+  int s = FindSlot(area, page);
+  return s >= 0 && frames_[static_cast<uint32_t>(s)].dirty;
+}
+
+}  // namespace lob

@@ -1,0 +1,172 @@
+// BufferPool: the paper's hybrid buffering scheme for large objects (3.2).
+//
+// A small pool of page frames (12 pages in the study) backed by SimDisk.
+// Single pages are fixed/unfixed with pin counts and an LRU policy that
+// frees least-recently-used *clean* pages before dirty ones. Multi-block
+// segments of up to `max_pool_segment_pages` (4 in the study) physically
+// adjacent pages can be read into contiguous frames with one I/O call.
+// Larger segments bypass the pool: byte ranges that do not match block
+// boundaries use the 3-step I/O of Figure 4 — the partial first and last
+// blocks travel through the pool, the full middle blocks move directly
+// between disk and the caller's buffer.
+//
+// Writes mirror reads: small runs are written into frames, marked dirty and
+// flushed by the caller at operation end (one sequential I/O call per
+// contiguous dirty run); large runs go directly to disk in one call.
+
+#ifndef LOB_BUFFER_BUFFER_POOL_H_
+#define LOB_BUFFER_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "iomodel/sim_disk.h"
+
+namespace lob {
+
+class BufferPool;
+
+/// RAII pin on one page frame. Movable, not copyable; unpins on destruction.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, uint32_t slot, char* data);
+  PageGuard(PageGuard&& other) noexcept;
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard();
+
+  bool valid() const { return pool_ != nullptr; }
+  char* data() const { return data_; }
+
+  /// Marks the pinned page dirty; it will be written back on flush/eviction.
+  void MarkDirty();
+
+  /// Explicitly unpins; the guard becomes invalid.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  uint32_t slot_ = 0;
+  char* data_ = nullptr;
+};
+
+/// How a page is fixed.
+enum class FixMode {
+  kRead,  ///< load from disk on miss
+  kNew,   ///< do not load: caller will overwrite the whole page
+};
+
+/// Buffer pool over a SimDisk. Not thread-safe (the study is single-user).
+class BufferPool {
+ public:
+  BufferPool(SimDisk* disk, const StorageConfig& config);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins `page` of `area` in the pool. With kRead the page is fetched on a
+  /// miss (one 1-page I/O call); with kNew the frame is zero-initialized.
+  StatusOr<PageGuard> FixPage(AreaId area, PageId page, FixMode mode);
+
+  /// Reads `n_bytes` starting `byte_off` bytes into the segment that begins
+  /// at page `seg_first`, into `dst`, applying the hybrid policy above.
+  /// `seg_valid_bytes` is the number of meaningful bytes in the segment
+  /// (bytes past it read as zero without validation).
+  Status ReadSegmentRange(AreaId area, PageId seg_first,
+                          uint64_t seg_valid_bytes, uint64_t byte_off,
+                          uint64_t n_bytes, char* dst);
+
+  /// Writes `n_bytes` at `byte_off` into the segment starting at
+  /// `seg_first`. Boundary pages that intersect `seg_valid_bytes` and are
+  /// only partially overwritten are read-modified-written; pages entirely
+  /// past the valid bytes are not read. Small runs stay dirty in the pool
+  /// (flush with FlushRun at operation end); large runs are written to disk
+  /// immediately in one call.
+  Status WriteSegmentRange(AreaId area, PageId seg_first,
+                           uint64_t seg_valid_bytes, uint64_t byte_off,
+                           uint64_t n_bytes, const char* src);
+
+  /// Writes `n_bytes` into a freshly allocated segment starting at `first`
+  /// with a single I/O call, bypassing the pool (zero-padding the last
+  /// page). Cached copies of the covered pages are refreshed. Use for
+  /// shadow copies and newly created segments: "copy, update, flush" with
+  /// one sequential write (paper 3.3/3.4).
+  Status WriteFreshSegment(AreaId area, PageId first, const char* data,
+                           uint64_t n_bytes);
+
+  /// Writes back every dirty cached page in [first, first+n_pages) using one
+  /// I/O call per maximal contiguous dirty run; pages stay cached clean.
+  Status FlushRun(AreaId area, PageId first, uint32_t n_pages);
+
+  /// Writes back all dirty pages (one call per page run per area).
+  Status FlushAll();
+
+  /// Drops cached copies of [first, first+n_pages): dirty pages are *not*
+  /// written back (their content is superseded); pinned pages are an error.
+  Status Invalidate(AreaId area, PageId first, uint32_t n_pages);
+
+  /// True if the page currently resides in the pool.
+  bool IsCached(AreaId area, PageId page) const;
+  bool IsDirty(AreaId area, PageId page) const;
+
+  uint32_t pool_pages() const { return config_.buffer_pool_pages; }
+  uint32_t page_size() const { return config_.page_size; }
+  SimDisk* disk() const { return disk_; }
+
+  /// Number of FixPage calls served without disk I/O (for tests/metrics).
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    AreaId area = 0;
+    PageId page = kInvalidPage;
+    bool valid = false;
+    bool dirty = false;
+    uint32_t pins = 0;
+    uint64_t lru = 0;
+  };
+
+  char* SlotData(uint32_t slot) {
+    return arena_.data() + static_cast<size_t>(slot) * config_.page_size;
+  }
+
+  static uint64_t Key(AreaId area, PageId page) {
+    return (static_cast<uint64_t>(area) << 32) | page;
+  }
+
+  int FindSlot(AreaId area, PageId page) const;
+
+  /// Picks a victim frame (unpinned; clean preferred, then LRU), writing a
+  /// dirty victim back. Returns slot or error if everything is pinned.
+  StatusOr<uint32_t> GetFreeSlot();
+
+  /// Evicts whatever lives in `slot` (must be unpinned), flushing if dirty.
+  Status EvictSlot(uint32_t slot);
+
+  /// Flushes (if dirty) and drops any cached pages within the range.
+  /// Fails if one of them is pinned.
+  Status FlushAndDropRange(AreaId area, PageId first, uint32_t n_pages);
+
+  void Unpin(uint32_t slot);
+
+  SimDisk* disk_;
+  StorageConfig config_;
+  std::vector<char> arena_;
+  std::vector<Frame> frames_;
+  std::unordered_map<uint64_t, uint32_t> map_;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace lob
+
+#endif  // LOB_BUFFER_BUFFER_POOL_H_

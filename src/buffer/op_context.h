@@ -1,0 +1,81 @@
+// OpContext: per-operation write scheduling (paper 3.3).
+//
+// The three managers share the same recovery discipline: updates on index
+// pages (except the root) are shadowed, and "the new copy that contains the
+// update is flushed out to disk at the end of the operation that caused the
+// update"; dirty leaf pages of in-place appends are likewise flushed at the
+// end of the operation. An OpContext collects the pages to flush and
+// remembers which pages were already relocated during the current
+// operation so a page is shadowed at most once per operation.
+
+#ifndef LOB_BUFFER_OP_CONTEXT_H_
+#define LOB_BUFFER_OP_CONTEXT_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "common/status.h"
+
+namespace lob {
+
+/// Deferred-flush and shadow bookkeeping for one logical object operation.
+class OpContext {
+ public:
+  explicit OpContext(BufferPool* pool) : pool_(pool) {}
+
+  OpContext(const OpContext&) = delete;
+  OpContext& operator=(const OpContext&) = delete;
+
+  /// True if `page` is a shadow copy created during this operation (and so
+  /// must not be shadowed again).
+  bool AlreadyShadowed(AreaId area, PageId page) const {
+    return shadowed_.count(Key(area, page)) != 0;
+  }
+
+  /// Records that `page` is a fresh shadow copy.
+  void NoteShadowed(AreaId area, PageId page) {
+    shadowed_.insert(Key(area, page));
+  }
+
+  /// Schedules [first, first+n_pages) of `area` for write-back when the
+  /// operation finishes. Duplicate registrations are fine: FlushRun skips
+  /// clean pages.
+  void DeferFlush(AreaId area, PageId first, uint32_t n_pages) {
+    deferred_.push_back({area, first, n_pages});
+  }
+
+  /// Flushes every deferred range (one sequential I/O call per maximal
+  /// contiguous dirty run) and clears the context for reuse.
+  Status Finish() {
+    for (const auto& d : deferred_) {
+      LOB_RETURN_IF_ERROR(pool_->FlushRun(d.area, d.first, d.pages));
+    }
+    deferred_.clear();
+    shadowed_.clear();
+    return Status::OK();
+  }
+
+  BufferPool* pool() const { return pool_; }
+
+ private:
+  struct Deferred {
+    AreaId area;
+    PageId first;
+    uint32_t pages;
+  };
+
+  static uint64_t Key(AreaId area, PageId page) {
+    return (static_cast<uint64_t>(area) << 32) | page;
+  }
+
+  BufferPool* pool_;
+  std::vector<Deferred> deferred_;
+  std::unordered_set<uint64_t> shadowed_;
+};
+
+}  // namespace lob
+
+#endif  // LOB_BUFFER_OP_CONTEXT_H_

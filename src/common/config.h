@@ -1,0 +1,62 @@
+// Substrate configuration shared by all three large object managers.
+//
+// Defaults correspond to Table 1 of the paper (Biliris, SIGMOD '92):
+// 4K-byte pages, a 12-page buffer pool, at most 4 physically adjacent pages
+// read into the pool with one I/O call, 33 ms seek cost, 1 K-byte/ms transfer.
+
+#ifndef LOB_COMMON_CONFIG_H_
+#define LOB_COMMON_CONFIG_H_
+
+#include <cstdint>
+
+namespace lob {
+
+/// Configuration of the simulated storage substrate.
+struct StorageConfig {
+  /// Disk block (page) size in bytes. The smallest unit of I/O.
+  uint32_t page_size = 4096;
+
+  /// Number of page frames in the buffer pool.
+  uint32_t buffer_pool_pages = 12;
+
+  /// Largest segment (in pages) that may be read into the pool in one step;
+  /// larger segments bypass the pool (paper 3.2).
+  uint32_t max_pool_segment_pages = 4;
+
+  /// Cost of one disk seek, including rotational delay, in milliseconds.
+  /// Charged once per I/O call regardless of the call's size.
+  double seek_ms = 33.0;
+
+  /// Transfer rate in K-bytes per millisecond.
+  double transfer_kb_per_ms = 1.0;
+
+  /// log2 of the number of data blocks per buddy space. The default 2^14
+  /// blocks = 64 M-bytes per space with 4K pages, each preceded by a 1-block
+  /// directory; segments of up to half a space (32 M-bytes) can be allocated,
+  /// matching the paper's 3.1.
+  uint32_t buddy_space_order = 14;
+
+  /// Whole-segment shadowing for recovery (paper 3.3). When true, any update
+  /// that overwrites useful bytes of a segment or an index page (except the
+  /// root) relocates it to freshly allocated space; pure appends happen in
+  /// place. When false, all updates happen in place (ablation switch).
+  bool shadowing = true;
+
+  /// Size of the staging buffer Starburst uses to copy long-field segments
+  /// during inserts/deletes (paper 3.5: a 512 K-byte virtual memory space).
+  uint32_t copy_buffer_bytes = 512 * 1024;
+
+  /// Transfer cost of one page in milliseconds.
+  double PageTransferMs() const {
+    return static_cast<double>(page_size) / 1024.0 / transfer_kb_per_ms;
+  }
+
+  /// Bytes per buddy space (excluding its directory block).
+  uint64_t BuddySpaceBytes() const {
+    return (uint64_t{1} << buddy_space_order) * page_size;
+  }
+};
+
+}  // namespace lob
+
+#endif  // LOB_COMMON_CONFIG_H_

@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generator for workloads and tests.
+//
+// xoshiro256** seeded via splitmix64. Deterministic across platforms so that
+// experiment runs and property tests are exactly reproducible from a seed.
+
+#ifndef LOB_COMMON_RNG_H_
+#define LOB_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace lob {
+
+/// Deterministic, seedable RNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 4-word state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  uint64_t Uniform(uint64_t lo, uint64_t hi) {
+    LOB_CHECK_LE(lo, hi);
+    const uint64_t span = hi - lo + 1;
+    if (span == 0) return Next();  // full 64-bit range
+    // Debiased modulo via rejection sampling.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    uint64_t v = Next();
+    while (v >= limit) v = Next();
+    return lo + v % span;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace lob
+
+#endif  // LOB_COMMON_RNG_H_

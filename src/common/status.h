@@ -1,0 +1,112 @@
+// Status: lightweight error propagation for the lobstore library.
+//
+// The library does not use exceptions (Google C++ style); fallible operations
+// return a Status, and functions producing a value either take an output
+// pointer or return a StatusOr<T>.
+
+#ifndef LOB_COMMON_STATUS_H_
+#define LOB_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lob {
+
+/// Error categories used across the library.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< caller error: bad offset, size, handle, ...
+  kOutOfRange,        ///< byte range exceeds object size
+  kNotFound,          ///< object / page / segment does not exist
+  kNoSpace,           ///< allocator or buffer pool exhausted
+  kCorruption,        ///< on-disk structure failed validation
+  kInternal,          ///< invariant violation inside the library
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: either OK or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status NoSpace(std::string msg) {
+    return Status(StatusCode::kNoSpace, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : rep_(std::move(status)) {}
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : rep_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+  T& value() { return std::get<T>(rep_); }
+  const T& value() const { return std::get<T>(rep_); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define LOB_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::lob::Status lob_return_if_error_s = (expr); \
+    if (!lob_return_if_error_s.ok()) return lob_return_if_error_s; \
+  } while (0)
+
+}  // namespace lob
+
+#endif  // LOB_COMMON_STATUS_H_

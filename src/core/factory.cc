@@ -1,0 +1,28 @@
+#include "core/factory.h"
+
+#include "eos/eos_manager.h"
+#include "esm/esm_manager.h"
+#include "starburst/starburst_manager.h"
+
+namespace lob {
+
+std::unique_ptr<LargeObjectManager> CreateEsmManager(StorageSystem* sys,
+                                                     uint32_t leaf_pages) {
+  EsmOptions opt;
+  opt.leaf_pages = leaf_pages;
+  return std::make_unique<EsmManager>(sys, opt);
+}
+
+std::unique_ptr<LargeObjectManager> CreateStarburstManager(
+    StorageSystem* sys) {
+  return std::make_unique<StarburstManager>(sys, StarburstOptions());
+}
+
+std::unique_ptr<LargeObjectManager> CreateEosManager(
+    StorageSystem* sys, uint32_t threshold_pages) {
+  EosOptions opt;
+  opt.threshold_pages = threshold_pages;
+  return std::make_unique<EosManager>(sys, opt);
+}
+
+}  // namespace lob

@@ -1,0 +1,30 @@
+// Factory: creates a LargeObjectManager for a given engine.
+
+#ifndef LOB_CORE_FACTORY_H_
+#define LOB_CORE_FACTORY_H_
+
+#include <memory>
+
+#include "core/large_object.h"
+#include "core/storage_system.h"
+
+namespace lob {
+
+struct EsmOptions;
+struct StarburstOptions;
+struct EosOptions;
+
+/// Creates an ESM manager (fixed-size leaves of `leaf_pages`).
+std::unique_ptr<LargeObjectManager> CreateEsmManager(StorageSystem* sys,
+                                                     uint32_t leaf_pages);
+
+/// Creates a Starburst long field manager.
+std::unique_ptr<LargeObjectManager> CreateStarburstManager(StorageSystem* sys);
+
+/// Creates an EOS manager with segment size threshold `threshold_pages`.
+std::unique_ptr<LargeObjectManager> CreateEosManager(StorageSystem* sys,
+                                                     uint32_t threshold_pages);
+
+}  // namespace lob
+
+#endif  // LOB_CORE_FACTORY_H_

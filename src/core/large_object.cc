@@ -1,0 +1,17 @@
+#include "core/large_object.h"
+
+namespace lob {
+
+const char* EngineName(Engine engine) {
+  switch (engine) {
+    case Engine::kEsm:
+      return "ESM";
+    case Engine::kStarburst:
+      return "Starburst";
+    case Engine::kEos:
+      return "EOS";
+  }
+  return "?";
+}
+
+}  // namespace lob

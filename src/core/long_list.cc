@@ -1,0 +1,79 @@
+#include "core/long_list.h"
+
+#include <cstring>
+#include <string_view>
+
+#include "common/logging.h"
+
+namespace lob {
+
+LongList::LongList(LargeObjectManager* mgr, uint32_t element_size)
+    : mgr_(mgr), element_size_(element_size) {
+  LOB_CHECK(mgr != nullptr);
+  LOB_CHECK_GE(element_size, 1u);
+}
+
+StatusOr<ObjectId> LongList::Create() { return mgr_->Create(); }
+
+Status LongList::Destroy(ObjectId id) { return mgr_->Destroy(id); }
+
+StatusOr<uint64_t> LongList::Size(ObjectId id) {
+  auto bytes = mgr_->Size(id);
+  if (!bytes.ok()) return bytes.status();
+  if (*bytes % element_size_ != 0) {
+    return Status::Corruption("list bytes not a multiple of element size");
+  }
+  return *bytes / element_size_;
+}
+
+Status LongList::PushBack(ObjectId id, const void* elem) {
+  return mgr_->Append(
+      id, std::string_view(static_cast<const char*>(elem), element_size_));
+}
+
+Status LongList::AppendMany(ObjectId id, const void* elems, uint64_t count) {
+  if (count == 0) return Status::OK();
+  return mgr_->Append(id, std::string_view(static_cast<const char*>(elems),
+                                           count * element_size_));
+}
+
+Status LongList::Insert(ObjectId id, uint64_t index, const void* elem) {
+  auto size = Size(id);
+  if (!size.ok()) return size.status();
+  if (index > *size) return Status::OutOfRange("list insert past end");
+  return mgr_->Insert(
+      id, index * element_size_,
+      std::string_view(static_cast<const char*>(elem), element_size_));
+}
+
+Status LongList::Remove(ObjectId id, uint64_t index) {
+  auto size = Size(id);
+  if (!size.ok()) return size.status();
+  if (index >= *size) return Status::OutOfRange("list remove past end");
+  return mgr_->Delete(id, index * element_size_, element_size_);
+}
+
+Status LongList::Get(ObjectId id, uint64_t index, void* out) {
+  return GetRange(id, index, 1, out);
+}
+
+Status LongList::GetRange(ObjectId id, uint64_t first, uint64_t count,
+                          void* out) {
+  if (count == 0) return Status::OK();
+  std::string buf;
+  LOB_RETURN_IF_ERROR(
+      mgr_->Read(id, first * element_size_, count * element_size_, &buf));
+  std::memcpy(out, buf.data(), buf.size());
+  return Status::OK();
+}
+
+Status LongList::Set(ObjectId id, uint64_t index, const void* elem) {
+  auto size = Size(id);
+  if (!size.ok()) return size.status();
+  if (index >= *size) return Status::OutOfRange("list set past end");
+  return mgr_->Replace(
+      id, index * element_size_,
+      std::string_view(static_cast<const char*>(elem), element_size_));
+}
+
+}  // namespace lob

@@ -1,0 +1,68 @@
+// LongList: an "insertable array" on top of a large object manager.
+//
+// The paper's introduction motivates large objects with general-purpose
+// data modeling constructs "such as long lists or insertable arrays" - O2
+// stored large lists of any element type through the WiSS large object
+// manager. LongList provides that layer: a positional sequence of
+// fixed-size elements mapped onto byte-range operations, so every list
+// operation inherits the performance profile of the underlying storage
+// structure (ESM, Starburst or EOS).
+
+#ifndef LOB_CORE_LONG_LIST_H_
+#define LOB_CORE_LONG_LIST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/large_object.h"
+
+namespace lob {
+
+/// Positional list of fixed-size elements stored in one large object.
+/// Element indexes are 0-based; all operations are O(one byte-range op).
+class LongList {
+ public:
+  /// `element_size` is fixed for the list's lifetime (bytes, >= 1).
+  LongList(LargeObjectManager* mgr, uint32_t element_size);
+
+  /// Creates an empty list and returns its object id.
+  StatusOr<ObjectId> Create();
+
+  /// Destroys the underlying object.
+  Status Destroy(ObjectId id);
+
+  /// Number of elements.
+  StatusOr<uint64_t> Size(ObjectId id);
+
+  /// Appends one element (`elem` points at element_size bytes).
+  Status PushBack(ObjectId id, const void* elem);
+
+  /// Appends `count` packed elements.
+  Status AppendMany(ObjectId id, const void* elems, uint64_t count);
+
+  /// Inserts one element before position `index` (index == size appends).
+  Status Insert(ObjectId id, uint64_t index, const void* elem);
+
+  /// Removes the element at `index`.
+  Status Remove(ObjectId id, uint64_t index);
+
+  /// Reads the element at `index` into `out` (element_size bytes).
+  Status Get(ObjectId id, uint64_t index, void* out);
+
+  /// Reads `count` consecutive elements starting at `first`.
+  Status GetRange(ObjectId id, uint64_t first, uint64_t count, void* out);
+
+  /// Overwrites the element at `index`.
+  Status Set(ObjectId id, uint64_t index, const void* elem);
+
+  uint32_t element_size() const { return element_size_; }
+  LargeObjectManager* manager() const { return mgr_; }
+
+ private:
+  LargeObjectManager* mgr_;
+  uint32_t element_size_;
+};
+
+}  // namespace lob
+
+#endif  // LOB_CORE_LONG_LIST_H_

@@ -1,0 +1,241 @@
+#include "core/object_catalog.h"
+
+#include <cstring>
+
+#include "buffer/op_context.h"
+#include "common/logging.h"
+
+namespace lob {
+
+namespace {
+
+constexpr uint32_t kCatalogMagic = 0x4C4F4243;  // "LOBC"
+constexpr uint32_t kHeaderBytes = 12;
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+void StoreU32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+uint16_t LoadU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+void StoreU16(char* p, uint16_t v) { std::memcpy(p, &v, 2); }
+
+}  // namespace
+
+ObjectCatalog::ObjectCatalog(StorageSystem* sys) : sys_(sys) {}
+
+StatusOr<PageId> ObjectCatalog::Create() {
+  auto seg = sys_->meta_area()->Allocate(1);
+  if (!seg.ok()) return seg.status();
+  auto g = sys_->pool()->FixPage(area_id(), seg->first_page, FixMode::kNew);
+  if (!g.ok()) return g.status();
+  StoreU32(g->data(), kCatalogMagic);
+  StoreU32(g->data() + 4, kInvalidPage);
+  StoreU16(g->data() + 8, 0);
+  StoreU16(g->data() + 10, 0);
+  g->MarkDirty();
+  head_ = seg->first_page;
+  return head_;
+}
+
+Status ObjectCatalog::Open(PageId head) {
+  auto g = sys_->pool()->FixPage(area_id(), head, FixMode::kRead);
+  if (!g.ok()) return g.status();
+  if (LoadU32(g->data()) != kCatalogMagic) {
+    return Status::Corruption("not a catalog page");
+  }
+  head_ = head;
+  return Status::OK();
+}
+
+Status ObjectCatalog::ReadPage(PageId page, std::vector<Entry>* entries,
+                               PageId* next) {
+  auto g = sys_->pool()->FixPage(area_id(), page, FixMode::kRead);
+  if (!g.ok()) return g.status();
+  const char* p = g->data();
+  if (LoadU32(p) != kCatalogMagic) {
+    return Status::Corruption("bad catalog magic");
+  }
+  *next = LoadU32(p + 4);
+  const uint16_t count = LoadU16(p + 8);
+  const uint16_t used = LoadU16(p + 10);
+  if (kHeaderBytes + used > sys_->config().page_size) {
+    return Status::Corruption("catalog page overflows");
+  }
+  entries->clear();
+  size_t at = kHeaderBytes;
+  for (uint16_t i = 0; i < count; ++i) {
+    const uint8_t len = static_cast<uint8_t>(p[at]);
+    if (at + 1 + len + 4 > kHeaderBytes + used) {
+      return Status::Corruption("catalog entry truncated");
+    }
+    Entry e;
+    e.name.assign(p + at + 1, len);
+    e.id = LoadU32(p + at + 1 + len);
+    entries->push_back(std::move(e));
+    at += 1 + len + 4;
+  }
+  return Status::OK();
+}
+
+Status ObjectCatalog::WritePage(PageId page, const std::vector<Entry>& entries,
+                                PageId next) {
+  auto g = sys_->pool()->FixPage(area_id(), page, FixMode::kRead);
+  if (!g.ok()) return g.status();
+  char* p = g->data();
+  StoreU32(p, kCatalogMagic);
+  StoreU32(p + 4, next);
+  size_t at = kHeaderBytes;
+  for (const Entry& e : entries) {
+    LOB_CHECK_LE(e.name.size(), 255u);
+    p[at] = static_cast<char>(e.name.size());
+    std::memcpy(p + at + 1, e.name.data(), e.name.size());
+    StoreU32(p + at + 1 + e.name.size(), e.id);
+    at += EntryBytes(e.name);
+  }
+  LOB_CHECK_LE(at, sys_->config().page_size);
+  StoreU16(p + 8, static_cast<uint16_t>(entries.size()));
+  StoreU16(p + 10, static_cast<uint16_t>(at - kHeaderBytes));
+  g->MarkDirty();
+  // Catalog updates are flushed immediately: they are rare and must not
+  // be lost behind large-object traffic evictions.
+  return sys_->pool()->FlushRun(area_id(), page, 1);
+}
+
+Status ObjectCatalog::Put(std::string_view name, ObjectId id) {
+  if (head_ == kInvalidPage) return Status::Internal("catalog not open");
+  if (name.empty() || name.size() > 255) {
+    return Status::InvalidArgument("catalog names are 1..255 bytes");
+  }
+  const size_t need = EntryBytes(name);
+  PageId page = head_;
+  while (true) {
+    std::vector<Entry> entries;
+    PageId next;
+    LOB_RETURN_IF_ERROR(ReadPage(page, &entries, &next));
+    size_t used = 0;
+    for (const Entry& e : entries) {
+      if (e.name == name) return Status::InvalidArgument("name already bound");
+      used += EntryBytes(e.name);
+    }
+    if (kHeaderBytes + used + need <= sys_->config().page_size) {
+      // Fits here; but the name may still exist further down the chain.
+      PageId scan = next;
+      while (scan != kInvalidPage) {
+        std::vector<Entry> more;
+        PageId next2;
+        LOB_RETURN_IF_ERROR(ReadPage(scan, &more, &next2));
+        for (const Entry& e : more) {
+          if (e.name == name) {
+            return Status::InvalidArgument("name already bound");
+          }
+        }
+        scan = next2;
+      }
+      entries.push_back({std::string(name), id});
+      return WritePage(page, entries, next);
+    }
+    if (next == kInvalidPage) {
+      // Grow the chain.
+      auto seg = sys_->meta_area()->Allocate(1);
+      if (!seg.ok()) return seg.status();
+      {
+        auto g = sys_->pool()->FixPage(area_id(), seg->first_page,
+                                       FixMode::kNew);
+        if (!g.ok()) return g.status();
+        StoreU32(g->data(), kCatalogMagic);
+        StoreU32(g->data() + 4, kInvalidPage);
+        StoreU16(g->data() + 8, 0);
+        StoreU16(g->data() + 10, 0);
+        g->MarkDirty();
+      }
+      LOB_RETURN_IF_ERROR(WritePage(page, entries, seg->first_page));
+      page = seg->first_page;
+      continue;
+    }
+    page = next;
+  }
+}
+
+StatusOr<ObjectId> ObjectCatalog::Get(std::string_view name) {
+  if (head_ == kInvalidPage) return Status::Internal("catalog not open");
+  PageId page = head_;
+  while (page != kInvalidPage) {
+    std::vector<Entry> entries;
+    PageId next;
+    LOB_RETURN_IF_ERROR(ReadPage(page, &entries, &next));
+    for (const Entry& e : entries) {
+      if (e.name == name) return e.id;
+    }
+    page = next;
+  }
+  return Status::NotFound("no such object name");
+}
+
+StatusOr<bool> ObjectCatalog::Contains(std::string_view name) {
+  auto id = Get(name);
+  if (id.ok()) return true;
+  if (id.status().code() == StatusCode::kNotFound) return false;
+  return id.status();
+}
+
+Status ObjectCatalog::Remove(std::string_view name) {
+  if (head_ == kInvalidPage) return Status::Internal("catalog not open");
+  PageId page = head_;
+  while (page != kInvalidPage) {
+    std::vector<Entry> entries;
+    PageId next;
+    LOB_RETURN_IF_ERROR(ReadPage(page, &entries, &next));
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].name == name) {
+        entries.erase(entries.begin() + static_cast<long>(i));
+        return WritePage(page, entries, next);
+      }
+    }
+    page = next;
+  }
+  return Status::NotFound("no such object name");
+}
+
+StatusOr<std::vector<std::pair<std::string, ObjectId>>>
+ObjectCatalog::List() {
+  if (head_ == kInvalidPage) return Status::Internal("catalog not open");
+  std::vector<std::pair<std::string, ObjectId>> out;
+  PageId page = head_;
+  while (page != kInvalidPage) {
+    std::vector<Entry> entries;
+    PageId next;
+    LOB_RETURN_IF_ERROR(ReadPage(page, &entries, &next));
+    for (Entry& e : entries) out.emplace_back(std::move(e.name), e.id);
+    page = next;
+  }
+  return out;
+}
+
+StatusOr<uint64_t> ObjectCatalog::Size() {
+  auto all = List();
+  if (!all.ok()) return all.status();
+  return static_cast<uint64_t>(all->size());
+}
+
+Status ObjectCatalog::Drop() {
+  if (head_ == kInvalidPage) return Status::OK();
+  PageId page = head_;
+  while (page != kInvalidPage) {
+    std::vector<Entry> entries;
+    PageId next;
+    LOB_RETURN_IF_ERROR(ReadPage(page, &entries, &next));
+    LOB_RETURN_IF_ERROR(sys_->pool()->Invalidate(area_id(), page, 1));
+    LOB_RETURN_IF_ERROR(sys_->meta_area()->Free(page, 1));
+    page = next;
+  }
+  head_ = kInvalidPage;
+  return Status::OK();
+}
+
+}  // namespace lob

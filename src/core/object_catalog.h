@@ -1,0 +1,90 @@
+// ObjectCatalog: a named directory of large objects.
+//
+// The paper's storage managers identify an object by the page number of
+// its root or descriptor; real clients need a way to find that page again.
+// The catalog is a chain of meta-area pages mapping UTF-8 names to object
+// ids - the role the file/directory layer plays above EXODUS or Starburst.
+//
+// Layout of a catalog page (4 KB):
+//   [0]  u32 magic 'LOBC'
+//   [4]  u32 next page (kInvalidPage when last in chain)
+//   [8]  u16 entry count
+//   [10] u16 bytes used by entries
+//   [12] entries: { u8 name_len, name bytes, u32 object id } packed
+//
+// Entries never span pages; a page that cannot fit a new entry links to a
+// freshly allocated successor. Removal compacts the page in place.
+
+#ifndef LOB_CORE_OBJECT_CATALOG_H_
+#define LOB_CORE_OBJECT_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/large_object.h"
+#include "core/storage_system.h"
+
+namespace lob {
+
+/// Name -> ObjectId directory stored in the meta area.
+class ObjectCatalog {
+ public:
+  explicit ObjectCatalog(StorageSystem* sys);
+
+  /// Allocates and formats an empty catalog; returns its head page.
+  StatusOr<PageId> Create();
+
+  /// Opens an existing catalog rooted at `head` (validates the magic).
+  Status Open(PageId head);
+
+  /// Binds `name` to `id`. Fails with InvalidArgument if the name is
+  /// empty, longer than 255 bytes, or already bound.
+  Status Put(std::string_view name, ObjectId id);
+
+  /// Looks a name up.
+  StatusOr<ObjectId> Get(std::string_view name);
+
+  /// Removes a binding (NotFound if absent). The object itself is not
+  /// destroyed - the catalog only stores references.
+  Status Remove(std::string_view name);
+
+  /// True if the name is bound.
+  StatusOr<bool> Contains(std::string_view name);
+
+  /// All bindings, in chain order.
+  StatusOr<std::vector<std::pair<std::string, ObjectId>>> List();
+
+  /// Number of bindings.
+  StatusOr<uint64_t> Size();
+
+  /// Frees every catalog page (bindings only; objects survive).
+  Status Drop();
+
+  PageId head() const { return head_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    ObjectId id;
+  };
+
+  AreaId area_id() const { return sys_->meta_area()->id(); }
+
+  /// Parses the entries of one catalog page.
+  Status ReadPage(PageId page, std::vector<Entry>* entries, PageId* next);
+
+  /// Rewrites one catalog page from an entry list (must fit).
+  Status WritePage(PageId page, const std::vector<Entry>& entries,
+                   PageId next);
+
+  /// Bytes an entry occupies on the page.
+  static size_t EntryBytes(std::string_view name) { return 1 + name.size() + 4; }
+
+  StorageSystem* sys_;
+  PageId head_ = kInvalidPage;
+};
+
+}  // namespace lob
+
+#endif  // LOB_CORE_OBJECT_CATALOG_H_

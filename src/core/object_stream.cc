@@ -1,0 +1,89 @@
+#include "core/object_stream.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lob {
+
+ObjectWriter::ObjectWriter(LargeObjectManager* mgr, ObjectId id,
+                           uint64_t chunk_bytes)
+    : mgr_(mgr), id_(id), chunk_bytes_(chunk_bytes) {
+  LOB_CHECK(mgr != nullptr);
+  LOB_CHECK_GT(chunk_bytes, 0u);
+  staged_.reserve(chunk_bytes);
+}
+
+ObjectWriter::~ObjectWriter() { (void)Flush(); }
+
+Status ObjectWriter::Write(std::string_view data) {
+  bytes_written_ += data.size();
+  while (!data.empty()) {
+    const uint64_t room = chunk_bytes_ - staged_.size();
+    const uint64_t take = std::min<uint64_t>(room, data.size());
+    staged_.append(data.substr(0, take));
+    data.remove_prefix(take);
+    if (staged_.size() == chunk_bytes_) {
+      LOB_RETURN_IF_ERROR(mgr_->Append(id_, staged_));
+      staged_.clear();
+    }
+  }
+  return Status::OK();
+}
+
+Status ObjectWriter::Flush() {
+  if (staged_.empty()) return Status::OK();
+  Status s = mgr_->Append(id_, staged_);
+  if (s.ok()) staged_.clear();
+  return s;
+}
+
+ObjectReader::ObjectReader(LargeObjectManager* mgr, ObjectId id,
+                           uint64_t chunk_bytes)
+    : mgr_(mgr), id_(id), chunk_bytes_(chunk_bytes) {
+  LOB_CHECK(mgr != nullptr);
+  LOB_CHECK_GT(chunk_bytes, 0u);
+}
+
+Status ObjectReader::FillBuffer() {
+  auto size = mgr_->Size(id_);
+  if (!size.ok()) return size.status();
+  buffer_.clear();
+  buf_start_ = position_;
+  if (position_ >= *size) return Status::OK();
+  const uint64_t take = std::min(chunk_bytes_, *size - position_);
+  return mgr_->Read(id_, position_, take, &buffer_);
+}
+
+Status ObjectReader::Read(uint64_t n, std::string* out) {
+  out->clear();
+  while (out->size() < n) {
+    if (position_ < buf_start_ ||
+        position_ >= buf_start_ + buffer_.size()) {
+      LOB_RETURN_IF_ERROR(FillBuffer());
+      if (buffer_.empty()) break;  // end of object
+    }
+    const uint64_t in_buf = position_ - buf_start_;
+    const uint64_t avail = buffer_.size() - in_buf;
+    const uint64_t take = std::min<uint64_t>(avail, n - out->size());
+    out->append(buffer_, in_buf, take);
+    position_ += take;
+  }
+  return Status::OK();
+}
+
+Status ObjectReader::Seek(uint64_t offset) {
+  auto size = mgr_->Size(id_);
+  if (!size.ok()) return size.status();
+  if (offset > *size) return Status::OutOfRange("seek past object end");
+  position_ = offset;
+  return Status::OK();
+}
+
+StatusOr<bool> ObjectReader::AtEnd() {
+  auto size = mgr_->Size(id_);
+  if (!size.ok()) return size.status();
+  return position_ >= *size;
+}
+
+}  // namespace lob

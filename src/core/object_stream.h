@@ -1,0 +1,92 @@
+// Sequential streaming over large objects.
+//
+// The paper motivates piece-wise access with exactly these patterns (1):
+// creating a very large object by successively appending sizable chunks,
+// and consuming it sequentially "rather than access the whole chunk in one
+// step - think of playing digital sound recordings". ObjectWriter and
+// ObjectReader package those patterns: a cursor plus client-side chunking,
+// so applications stream without managing offsets, while every underlying
+// I/O remains an ordinary byte-range operation of the chosen engine.
+
+#ifndef LOB_CORE_OBJECT_STREAM_H_
+#define LOB_CORE_OBJECT_STREAM_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/large_object.h"
+
+namespace lob {
+
+/// Buffered sequential writer: accumulates small writes into
+/// `chunk_bytes`-sized appends (the efficient way to build large objects).
+class ObjectWriter {
+ public:
+  /// Appends at the current end of `id`. `chunk_bytes` controls how much
+  /// is staged client-side before each Append call.
+  ObjectWriter(LargeObjectManager* mgr, ObjectId id,
+               uint64_t chunk_bytes = 256 * 1024);
+
+  /// Flushes any staged bytes on destruction (errors are swallowed; call
+  /// Flush() explicitly to observe them).
+  ~ObjectWriter();
+
+  ObjectWriter(const ObjectWriter&) = delete;
+  ObjectWriter& operator=(const ObjectWriter&) = delete;
+
+  /// Stages `data` for appending; issues Append calls as the staging
+  /// buffer fills.
+  Status Write(std::string_view data);
+
+  /// Appends everything staged so far.
+  Status Flush();
+
+  /// Bytes accepted by Write so far (staged + appended).
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  LargeObjectManager* mgr_;
+  ObjectId id_;
+  uint64_t chunk_bytes_;
+  std::string staged_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Buffered sequential reader with a seekable cursor.
+class ObjectReader {
+ public:
+  /// Reads from offset 0; `chunk_bytes` is the read-ahead granularity
+  /// (one byte-range Read per chunk).
+  ObjectReader(LargeObjectManager* mgr, ObjectId id,
+               uint64_t chunk_bytes = 256 * 1024);
+
+  ObjectReader(const ObjectReader&) = delete;
+  ObjectReader& operator=(const ObjectReader&) = delete;
+
+  /// Reads up to `n` bytes into `out` (resized to what was read; empty at
+  /// end of object). Short reads happen only at the end.
+  Status Read(uint64_t n, std::string* out);
+
+  /// Repositions the cursor (drops buffered read-ahead if outside it).
+  Status Seek(uint64_t offset);
+
+  /// Cursor position.
+  uint64_t Tell() const { return position_; }
+
+  /// True when the cursor is at or past the end of the object.
+  StatusOr<bool> AtEnd();
+
+ private:
+  Status FillBuffer();
+
+  LargeObjectManager* mgr_;
+  ObjectId id_;
+  uint64_t chunk_bytes_;
+  uint64_t position_ = 0;   ///< logical cursor
+  uint64_t buf_start_ = 0;  ///< object offset of buffer_[0]
+  std::string buffer_;
+};
+
+}  // namespace lob
+
+#endif  // LOB_CORE_OBJECT_STREAM_H_

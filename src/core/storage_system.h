@@ -1,0 +1,80 @@
+// StorageSystem: the assembled substrate the three large object managers
+// run on.
+//
+// Mirrors the paper's setup (4.1): one simulated disk, a buffer pool
+// (Table 1 parameters), and two buddy-managed database areas - one for the
+// leaf segments holding the bytes of large objects, and one for everything
+// else (roots, index nodes, long field descriptors, buddy directories).
+
+#ifndef LOB_CORE_STORAGE_SYSTEM_H_
+#define LOB_CORE_STORAGE_SYSTEM_H_
+
+#include <memory>
+
+#include "buddy/database_area.h"
+#include "buffer/buffer_pool.h"
+#include "buffer/op_context.h"
+#include "common/config.h"
+#include "iomodel/sim_disk.h"
+
+namespace lob {
+
+/// Owns the simulated disk, buffer pool and the two database areas.
+class StorageSystem {
+ public:
+  explicit StorageSystem(const StorageConfig& config = StorageConfig());
+
+  StorageSystem(const StorageSystem&) = delete;
+  StorageSystem& operator=(const StorageSystem&) = delete;
+
+  SimDisk* disk() { return disk_.get(); }
+  BufferPool* pool() { return pool_.get(); }
+
+  /// Area for roots, index pages, descriptors ("everything else", 4.1).
+  DatabaseArea* meta_area() { return meta_area_.get(); }
+
+  /// Area for the leaf segments holding large object bytes.
+  DatabaseArea* leaf_area() { return leaf_area_.get(); }
+
+  const StorageConfig& config() const { return config_; }
+
+  /// Accumulated modeled I/O since construction / ResetStats().
+  const IoStats& stats() const { return disk_->stats(); }
+  void ResetStats() { disk_->ResetStats(); }
+
+  /// Writes back every dirty buffered page (roots included).
+  Status FlushAll() { return pool_->FlushAll(); }
+
+  /// Bytes of disk space currently allocated to segments (leaf area plus
+  /// meta area); the denominator of the paper's storage utilization metric.
+  uint64_t AllocatedBytes() const {
+    return (leaf_area_->allocated_pages() + meta_area_->allocated_pages()) *
+           config_.page_size;
+  }
+
+  /// RAII helper: restores the I/O counters on destruction so audits and
+  /// validation walks do not perturb measured costs.
+  class UnmeteredSection {
+   public:
+    explicit UnmeteredSection(StorageSystem* sys)
+        : sys_(sys), saved_(sys->stats()) {}
+    ~UnmeteredSection() { sys_->disk()->SetStats(saved_); }
+    UnmeteredSection(const UnmeteredSection&) = delete;
+    UnmeteredSection& operator=(const UnmeteredSection&) = delete;
+
+   private:
+    StorageSystem* sys_;
+    IoStats saved_;
+  };
+
+ private:
+  StorageConfig config_;
+  std::unique_ptr<SimDisk> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<DatabaseArea> meta_area_;
+  std::unique_ptr<DatabaseArea> leaf_area_;
+};
+
+}  // namespace lob
+
+#endif  // LOB_CORE_STORAGE_SYSTEM_H_

@@ -1,0 +1,131 @@
+// EosManager: the EOS large object structure (paper 2.3; Biliris 1992).
+//
+// A generalization of ESM and Starburst: large objects are stored in a
+// sequence of *variable-size* segments of physically contiguous pages,
+// allocated by the buddy system and indexed by the same positional tree as
+// ESM (identical internal nodes). A segment has no holes: every page is
+// full except possibly the last one.
+//
+// Appends grow exactly like Starburst (doubling segment allocations from
+// the first append size up to the maximum), so a freshly built object has
+// the identical physical layout in both systems. Byte-range inserts and
+// deletes split segments: the bytes to the left of the split point stay in
+// place (their pages are merely trimmed), the new bytes go into as few
+// fresh segments as possible, and the bytes to the right either stay in
+// place (when the split falls on a page boundary) or are copied into a
+// fresh segment.
+//
+// The *segment size threshold* T bounds fragmentation: a segment holding
+// fewer than T pages' worth of bytes next to a logically adjacent segment
+// is a violation when the bytes could be reorganized into segments of at
+// least T pages. Violations are repaired by merging the pair into one
+// segment when the combined bytes are small, or by shuffling whole pages
+// from the bigger neighbor until both sides reach the threshold ("pages in
+// neighboring segments have to be shuffled", paper 2.3). Updated regions
+// therefore degrade toward segments of about T pages. Larger T gives
+// better utilization and read cost at higher update cost - the paper's
+// central EOS trade-off.
+
+#ifndef LOB_EOS_EOS_MANAGER_H_
+#define LOB_EOS_EOS_MANAGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/large_object.h"
+#include "core/storage_system.h"
+#include "lobtree/positional_tree.h"
+
+namespace lob {
+
+struct EosOptions {
+  /// Segment size threshold T, in pages (1, 4, 16, 64 in the study).
+  uint32_t threshold_pages = 4;
+
+  /// Cap on segment size. 8192 pages = 32 M-byte segments.
+  uint32_t max_segment_pages = 8192;
+
+  /// Tree fan-out; tests shrink it.
+  TreeLimits limits;
+};
+
+/// EOS large object manager over a StorageSystem.
+class EosManager : public LargeObjectManager {
+ public:
+  EosManager(StorageSystem* sys, const EosOptions& options);
+
+  StatusOr<ObjectId> Create() override;
+  Status Destroy(ObjectId id) override;
+  StatusOr<uint64_t> Size(ObjectId id) override;
+  Status Read(ObjectId id, uint64_t offset, uint64_t n,
+              std::string* out) override;
+  Status Append(ObjectId id, std::string_view data) override;
+  Status Insert(ObjectId id, uint64_t offset, std::string_view data) override;
+  Status Delete(ObjectId id, uint64_t offset, uint64_t n) override;
+  Status Replace(ObjectId id, uint64_t offset, std::string_view data) override;
+  StatusOr<ObjectStorageStats> GetStorageStats(ObjectId id) override;
+  Status Validate(ObjectId id) override;
+  Status VisitSegments(
+      ObjectId id,
+      const std::function<Status(uint64_t, uint32_t)>& fn) override;
+  Status Trim(ObjectId id) override;
+  Engine engine() const override { return Engine::kEos; }
+
+  const EosOptions& options() const { return options_; }
+
+ private:
+  AreaId leaf_area_id() const { return sys_->leaf_area()->id(); }
+  uint32_t page_size() const { return sys_->config().page_size; }
+
+  /// Pages needed to hold `bytes` (exact allocation of non-last segments).
+  uint32_t PagesFor(uint64_t bytes) const {
+    return static_cast<uint32_t>((bytes + page_size() - 1) / page_size());
+  }
+
+  Status ReadLeaf(const PositionalTree::LeafInfo& leaf, uint64_t off,
+                  uint64_t n, char* dst);
+
+  /// Frees `pages` pages of a segment starting at `page`.
+  Status FreePages(PageId page, uint32_t pages);
+
+  /// Allocates a fresh segment of exactly PagesFor(content) pages and
+  /// writes `content` into it.
+  StatusOr<PageId> WriteNewSegment(std::string_view content, OpContext* ctx);
+
+  /// Frees the allocated-but-unused tail pages of the last segment so
+  /// that, for the duration of a structural update, every segment is
+  /// exactly PagesFor(bytes) pages long.
+  Status TrimLastSlack(ObjectId id, OpContext* ctx);
+
+  /// Recomputes the root aux word (= allocated pages of the last leaf)
+  /// after a structural update.
+  Status RefreshAux(ObjectId id);
+
+  /// Inserts `data` as new leaf segments starting at object offset `at`
+  /// (as few segments as possible).
+  Status InsertFreshSegments(ObjectId id, uint64_t at, std::string_view data,
+                             OpContext* ctx);
+
+  /// Repairs threshold violations among adjacent leaves overlapping
+  /// [lo, hi].
+  Status EnforceThreshold(ObjectId id, uint64_t lo, uint64_t hi,
+                          OpContext* ctx);
+
+  /// Merges leaf `b` into leaf `a` (logically adjacent, a before b).
+  Status MergeLeaves(ObjectId id, const PositionalTree::LeafInfo& a,
+                     const PositionalTree::LeafInfo& b, OpContext* ctx);
+
+  /// Moves bytes between the adjacent leaves `a` and `b` (exactly one of
+  /// which is below T pages' worth) so both reach the threshold: whole
+  /// pages off b's front when a is small, the tail of a when b is small.
+  Status ShuffleLeaves(ObjectId id, const PositionalTree::LeafInfo& a,
+                       const PositionalTree::LeafInfo& b, OpContext* ctx);
+
+  StorageSystem* sys_;
+  EosOptions options_;
+  std::unique_ptr<PositionalTree> tree_;
+};
+
+}  // namespace lob
+
+#endif  // LOB_EOS_EOS_MANAGER_H_

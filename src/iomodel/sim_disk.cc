@@ -1,0 +1,111 @@
+#include "iomodel/sim_disk.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace lob {
+
+std::string IoStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "reads=%llu writes=%llu pages_r=%llu pages_w=%llu ms=%.1f",
+                static_cast<unsigned long long>(read_calls),
+                static_cast<unsigned long long>(write_calls),
+                static_cast<unsigned long long>(pages_read),
+                static_cast<unsigned long long>(pages_written), ms);
+  return buf;
+}
+
+SimDisk::SimDisk(const StorageConfig& config) : config_(config) {
+  LOB_CHECK_GT(config_.page_size, 0u);
+}
+
+AreaId SimDisk::CreateArea() {
+  areas_.emplace_back();
+  return static_cast<AreaId>(areas_.size() - 1);
+}
+
+Status SimDisk::CheckRange(AreaId area, PageId first, uint32_t n_pages) const {
+  if (area >= areas_.size()) {
+    return Status::InvalidArgument("no such area");
+  }
+  if (n_pages == 0) {
+    return Status::InvalidArgument("zero-page I/O call");
+  }
+  if (first == kInvalidPage || first > kInvalidPage - n_pages) {
+    return Status::InvalidArgument("page range overflow");
+  }
+  return Status::OK();
+}
+
+char* SimDisk::PageData(Area& area, PageId page, bool create) {
+  if (page >= area.pages.size()) {
+    if (!create) return nullptr;
+    area.pages.resize(page + 1);
+  }
+  auto& slot = area.pages[page];
+  if (slot == nullptr) {
+    if (!create) return nullptr;
+    slot = std::make_unique<char[]>(config_.page_size);
+    std::memset(slot.get(), 0, config_.page_size);
+  }
+  return slot.get();
+}
+
+Status SimDisk::Read(AreaId area, PageId first, uint32_t n_pages, void* dst) {
+  LOB_RETURN_IF_ERROR(CheckRange(area, first, n_pages));
+  if (fail_after_ >= 0) {
+    if (fail_after_ == 0) return Status::Internal("injected I/O failure");
+    fail_after_--;
+  }
+  char* out = static_cast<char*>(dst);
+  Area& a = areas_[area];
+  for (uint32_t i = 0; i < n_pages; ++i) {
+    const char* src = PageData(a, first + i, /*create=*/false);
+    if (src == nullptr) {
+      std::memset(out, 0, config_.page_size);
+    } else {
+      std::memcpy(out, src, config_.page_size);
+    }
+    out += config_.page_size;
+  }
+  stats_.read_calls += 1;
+  stats_.pages_read += n_pages;
+  stats_.ms += config_.seek_ms + n_pages * config_.PageTransferMs();
+  return Status::OK();
+}
+
+Status SimDisk::Write(AreaId area, PageId first, uint32_t n_pages,
+                      const void* src) {
+  LOB_RETURN_IF_ERROR(CheckRange(area, first, n_pages));
+  if (fail_after_ >= 0) {
+    if (fail_after_ == 0) return Status::Internal("injected I/O failure");
+    fail_after_--;
+  }
+  const char* in = static_cast<const char*>(src);
+  Area& a = areas_[area];
+  for (uint32_t i = 0; i < n_pages; ++i) {
+    char* dst = PageData(a, first + i, /*create=*/true);
+    std::memcpy(dst, in, config_.page_size);
+    in += config_.page_size;
+  }
+  stats_.write_calls += 1;
+  stats_.pages_written += n_pages;
+  stats_.ms += config_.seek_ms + n_pages * config_.PageTransferMs();
+  return Status::OK();
+}
+
+const char* SimDisk::PeekPage(AreaId area, PageId page) const {
+  if (area >= areas_.size()) return nullptr;
+  const Area& a = areas_[area];
+  if (page >= a.pages.size() || a.pages[page] == nullptr) return nullptr;
+  return a.pages[page].get();
+}
+
+PageId SimDisk::AreaHighWater(AreaId area) const {
+  if (area >= areas_.size()) return 0;
+  return static_cast<PageId>(areas_[area].pages.size());
+}
+
+}  // namespace lob

@@ -1,0 +1,241 @@
+// On-page layout of positional tree nodes (paper 2.1, Figure 1).
+//
+// Every node holds a sequence of (count, page) pairs where count values are
+// cumulative: c[i] is the number of bytes stored in children 0..i, so the
+// bytes below child i alone are c[i] - c[i-1] (c[-1] = 0 by convention) and
+// the rightmost count of the root is the object size. Counts and pointers
+// are 4 bytes each; with 4K pages the root (which also carries the object
+// header) holds up to 507 pairs and internal nodes 511, the numbers quoted
+// in paper 4.1.
+//
+// The root of an object lives alone in its own page; its page number is the
+// object's identity. Heights: a root of height 1 points directly at leaf
+// segments (the "level 1" trees of the paper); height 2 adds one layer of
+// internal nodes, and so on.
+
+#ifndef LOB_LOBTREE_NODE_LAYOUT_H_
+#define LOB_LOBTREE_NODE_LAYOUT_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/logging.h"
+#include "iomodel/sim_disk.h"
+
+namespace lob {
+
+/// One child reference: `bytes` stored below it and the page where the
+/// child (internal node or first page of a leaf segment) lives.
+struct LeafEntry {
+  uint32_t bytes = 0;
+  PageId page = kInvalidPage;
+};
+
+/// Tunable fan-out caps (defaults match the paper; tests shrink them to
+/// exercise splits and merges cheaply).
+struct TreeLimits {
+  uint32_t root_capacity = 507;
+  uint32_t internal_capacity = 511;
+
+  /// Minimum pairs in a non-root node ("at least half full"). Based on the
+  /// smaller of the two capacities because a root split hands each child
+  /// about half the root's pairs.
+  uint32_t MinFill() const {
+    return (root_capacity < internal_capacity ? root_capacity
+                                              : internal_capacity) /
+           2;
+  }
+};
+
+namespace node {
+
+constexpr uint32_t kRootMagic = 0x4C4F4252;      // "LOBR"
+constexpr uint32_t kInternalMagic = 0x4C4F4249;  // "LOBI"
+constexpr uint32_t kRootHeaderBytes = 40;
+constexpr uint32_t kInternalHeaderBytes = 8;
+
+inline uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+inline void StoreU32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+inline uint16_t LoadU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+inline void StoreU16(char* p, uint16_t v) { std::memcpy(p, &v, 2); }
+
+}  // namespace node
+
+/// Mutable view over a tree node's page image. Cheap to construct; does not
+/// own the underlying buffer (which normally lives in a buffer pool frame).
+class NodeView {
+ public:
+  NodeView(char* data, uint32_t page_size, bool is_root)
+      : data_(data), page_size_(page_size), is_root_(is_root) {}
+
+  /// Formats a fresh node in the buffer.
+  void Init(uint16_t height, uint8_t engine = 0) {
+    std::memset(data_, 0, page_size_);
+    if (is_root_) {
+      node::StoreU32(data_, node::kRootMagic);
+      data_[4] = static_cast<char>(engine);
+      node::StoreU16(data_ + 6, height);
+      node::StoreU16(data_ + 8, 0);  // npairs
+      node::StoreU32(data_ + 16, 0);  // aux (EOS last-segment allocation)
+    } else {
+      node::StoreU32(data_, node::kInternalMagic);
+      node::StoreU16(data_ + 4, height);
+      node::StoreU16(data_ + 6, 0);  // npairs
+    }
+  }
+
+  bool IsValid() const {
+    return node::LoadU32(data_) ==
+           (is_root_ ? node::kRootMagic : node::kInternalMagic);
+  }
+
+  bool is_root() const { return is_root_; }
+
+  uint16_t height() const {
+    return node::LoadU16(data_ + (is_root_ ? 6 : 4));
+  }
+  void set_height(uint16_t h) {
+    node::StoreU16(data_ + (is_root_ ? 6 : 4), h);
+  }
+
+  uint16_t npairs() const {
+    return node::LoadU16(data_ + (is_root_ ? 8 : 6));
+  }
+  void set_npairs(uint16_t n) {
+    node::StoreU16(data_ + (is_root_ ? 8 : 6), n);
+  }
+
+  uint8_t engine() const {
+    LOB_CHECK(is_root_);
+    return static_cast<uint8_t>(data_[4]);
+  }
+
+  /// Root-only auxiliary word; EOS stores the allocated page count of the
+  /// last segment here (the segment may be larger than its used bytes
+  /// while the object is being appended to).
+  uint32_t aux() const {
+    LOB_CHECK(is_root_);
+    return node::LoadU32(data_ + 16);
+  }
+  void set_aux(uint32_t v) {
+    LOB_CHECK(is_root_);
+    node::StoreU32(data_ + 16, v);
+  }
+
+  /// Cumulative byte count of pair `i` (bytes of children 0..i).
+  uint32_t Count(uint32_t i) const {
+    LOB_CHECK_LT(i, npairs());
+    return node::LoadU32(PairPtr(i));
+  }
+  PageId Page(uint32_t i) const {
+    LOB_CHECK_LT(i, npairs());
+    return node::LoadU32(PairPtr(i) + 4);
+  }
+  void SetCount(uint32_t i, uint32_t c) {
+    LOB_CHECK_LT(i, npairs());
+    node::StoreU32(PairPtr(i), c);
+  }
+  void SetPage(uint32_t i, PageId p) {
+    LOB_CHECK_LT(i, npairs());
+    node::StoreU32(PairPtr(i) + 4, p);
+  }
+
+  /// Bytes stored below child `i` alone (c[i] - c[i-1]).
+  uint32_t SubtreeBytes(uint32_t i) const {
+    return Count(i) - (i == 0 ? 0 : Count(i - 1));
+  }
+
+  /// Total bytes below this node (0 when empty).
+  uint32_t TotalBytes() const {
+    const uint16_t n = npairs();
+    return n == 0 ? 0 : Count(n - 1);
+  }
+
+  /// First i such that offset < c[i]; requires offset < TotalBytes().
+  uint32_t FindChild(uint32_t offset) const {
+    const uint16_t n = npairs();
+    LOB_CHECK_GT(n, 0);
+    uint32_t lo = 0, hi = n - 1;
+    while (lo < hi) {
+      const uint32_t mid = (lo + hi) / 2;
+      if (offset < Count(mid)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    LOB_CHECK_LT(offset, Count(lo));
+    return lo;
+  }
+
+  /// Inserts a pair before position `i` with `bytes` below it; following
+  /// cumulative counts shift up by `bytes`.
+  void InsertPair(uint32_t i, uint32_t bytes, PageId page) {
+    const uint16_t n = npairs();
+    LOB_CHECK_LE(i, n);
+    char* at = PairPtr(i);
+    std::memmove(at + 8, at, static_cast<size_t>(n - i) * 8);
+    set_npairs(static_cast<uint16_t>(n + 1));
+    const uint32_t base = i == 0 ? 0 : Count(i - 1);
+    node::StoreU32(at, base + bytes);
+    node::StoreU32(at + 4, page);
+    for (uint32_t j = i + 1; j <= n; ++j) SetCount(j, Count(j) + bytes);
+  }
+
+  /// Removes pair `i`; following cumulative counts shift down by its bytes.
+  void RemovePair(uint32_t i) {
+    const uint16_t n = npairs();
+    LOB_CHECK_LT(i, n);
+    const uint32_t bytes = SubtreeBytes(i);
+    char* at = PairPtr(i);
+    std::memmove(at, at + 8, static_cast<size_t>(n - i - 1) * 8);
+    set_npairs(static_cast<uint16_t>(n - 1));
+    for (uint32_t j = i; j + 1 <= static_cast<uint32_t>(n - 1); ++j) {
+      SetCount(j, Count(j) - bytes);
+    }
+  }
+
+  /// Adds `delta` to the subtree bytes of child `i` (and so to every
+  /// cumulative count from i on).
+  void AddBytes(uint32_t i, int64_t delta) {
+    const uint16_t n = npairs();
+    LOB_CHECK_LT(i, n);
+    for (uint32_t j = i; j < n; ++j) {
+      SetCount(j, static_cast<uint32_t>(static_cast<int64_t>(Count(j)) +
+                                        delta));
+    }
+  }
+
+  /// Physical pair capacity of this page (layout bound; the logical cap in
+  /// TreeLimits must not exceed it).
+  uint32_t PhysicalCapacity() const {
+    const uint32_t header =
+        is_root_ ? node::kRootHeaderBytes : node::kInternalHeaderBytes;
+    return (page_size_ - header) / 8;
+  }
+
+  const char* raw() const { return data_; }
+
+ private:
+  char* PairPtr(uint32_t i) const {
+    const uint32_t header =
+        is_root_ ? node::kRootHeaderBytes : node::kInternalHeaderBytes;
+    return data_ + header + static_cast<size_t>(i) * 8;
+  }
+
+  char* data_;
+  uint32_t page_size_;
+  bool is_root_;
+};
+
+}  // namespace lob
+
+#endif  // LOB_LOBTREE_NODE_LAYOUT_H_

@@ -1,0 +1,517 @@
+#include "starburst/starburst_manager.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace lob {
+
+namespace {
+
+constexpr uint32_t kDescriptorMagic = 0x4C4F4244;  // "LOBD"
+constexpr uint32_t kHeaderBytes = 20;
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+void StoreU32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+
+}  // namespace
+
+StarburstManager::StarburstManager(StorageSystem* sys,
+                                   const StarburstOptions& options)
+    : sys_(sys), options_(options) {
+  LOB_CHECK_GE(options_.max_segment_pages, 1u);
+  options_.max_segment_pages = std::min(
+      options_.max_segment_pages, sys->leaf_area()->max_segment_pages());
+}
+
+uint32_t StarburstManager::PatternPages(uint32_t first_pages,
+                                        uint32_t i) const {
+  if (first_pages == 0) return 0;
+  if (i >= 31) return options_.max_segment_pages;
+  const uint64_t pages = static_cast<uint64_t>(first_pages) << i;
+  return static_cast<uint32_t>(
+      std::min<uint64_t>(pages, options_.max_segment_pages));
+}
+
+StatusOr<ObjectId> StarburstManager::Create() {
+  auto seg = sys_->meta_area()->Allocate(1);
+  if (!seg.ok()) return seg.status();
+  auto g = sys_->pool()->FixPage(sys_->meta_area()->id(), seg->first_page,
+                                 FixMode::kNew);
+  if (!g.ok()) return g.status();
+  StoreU32(g->data(), kDescriptorMagic);
+  g->MarkDirty();
+  return seg->first_page;
+}
+
+StatusOr<StarburstManager::Descriptor> StarburstManager::Load(ObjectId id) {
+  auto g = sys_->pool()->FixPage(sys_->meta_area()->id(), id, FixMode::kRead);
+  if (!g.ok()) return g.status();
+  const char* p = g->data();
+  if (LoadU32(p) != kDescriptorMagic) {
+    return Status::Corruption("bad long field descriptor magic");
+  }
+  Descriptor d;
+  d.used_bytes = LoadU32(p + 4);
+  d.first_pages = LoadU32(p + 8);
+  d.last_alloc_pages = LoadU32(p + 12);
+  const uint32_t nsegs = LoadU32(p + 16);
+  const uint32_t cap = (page_size() - kHeaderBytes) / 4;
+  if (nsegs > cap) return Status::Corruption("descriptor segment overflow");
+  d.ptrs.resize(nsegs);
+  for (uint32_t i = 0; i < nsegs; ++i) {
+    d.ptrs[i] = LoadU32(p + kHeaderBytes + 4 * i);
+  }
+  return d;
+}
+
+Status StarburstManager::Save(ObjectId id, const Descriptor& d) {
+  const uint32_t cap = (page_size() - kHeaderBytes) / 4;
+  if (d.ptrs.size() > cap) {
+    return Status::NoSpace("long field descriptor full");
+  }
+  auto g = sys_->pool()->FixPage(sys_->meta_area()->id(), id, FixMode::kRead);
+  if (!g.ok()) return g.status();
+  char* p = g->data();
+  StoreU32(p, kDescriptorMagic);
+  StoreU32(p + 4, d.used_bytes);
+  StoreU32(p + 8, d.first_pages);
+  StoreU32(p + 12, d.last_alloc_pages);
+  StoreU32(p + 16, static_cast<uint32_t>(d.ptrs.size()));
+  for (size_t i = 0; i < d.ptrs.size(); ++i) {
+    StoreU32(p + kHeaderBytes + 4 * i, d.ptrs[i]);
+  }
+  g->MarkDirty();  // descriptor reaches disk on eviction or FlushAll
+  return Status::OK();
+}
+
+std::vector<StarburstManager::SegInfo> StarburstManager::MapSegments(
+    const Descriptor& d) const {
+  std::vector<SegInfo> map;
+  map.reserve(d.ptrs.size());
+  uint64_t at = 0;
+  for (uint32_t i = 0; i < d.ptrs.size(); ++i) {
+    SegInfo seg;
+    seg.page = d.ptrs[i];
+    seg.start = at;
+    if (i + 1 < d.ptrs.size()) {
+      seg.alloc = PatternPages(d.first_pages, i);
+      seg.bytes = static_cast<uint64_t>(seg.alloc) * page_size();
+    } else {
+      seg.alloc = d.last_alloc_pages;
+      seg.bytes = d.used_bytes - at;
+    }
+    at += seg.bytes;
+    map.push_back(seg);
+  }
+  return map;
+}
+
+Status StarburstManager::ReadRange(const std::vector<SegInfo>& map,
+                                   uint64_t off, uint64_t n, char* dst) {
+  uint64_t done = 0;
+  for (const SegInfo& seg : map) {
+    if (done == n) break;
+    const uint64_t seg_end = seg.start + seg.bytes;
+    if (seg_end <= off + done) continue;
+    const uint64_t local = off + done - seg.start;
+    const uint64_t take = std::min(seg.bytes - local, n - done);
+    // One I/O call per copy-buffer-sized chunk within the segment.
+    uint64_t part = 0;
+    while (part < take) {
+      const uint64_t chunk =
+          std::min<uint64_t>(take - part, sys_->config().copy_buffer_bytes);
+      LOB_RETURN_IF_ERROR(sys_->pool()->ReadSegmentRange(
+          leaf_area_id(), seg.page, seg.bytes, local + part, chunk,
+          dst + done + part));
+      part += chunk;
+    }
+    done += take;
+  }
+  if (done != n) return Status::OutOfRange("read past long field end");
+  return Status::OK();
+}
+
+Status StarburstManager::Read(ObjectId id, uint64_t offset, uint64_t n,
+                              std::string* out) {
+  auto d = Load(id);
+  if (!d.ok()) return d.status();
+  if (offset + n > d->used_bytes) {
+    return Status::OutOfRange("read past object end");
+  }
+  out->resize(n);
+  if (n == 0) return Status::OK();
+  // User reads are not chunked by the copy buffer: read whole ranges per
+  // segment (the copy buffer only stages update copying, paper 3.5).
+  auto map = MapSegments(*d);
+  uint64_t done = 0;
+  for (const SegInfo& seg : map) {
+    if (done == n) break;
+    const uint64_t seg_end = seg.start + seg.bytes;
+    if (seg_end <= offset + done) continue;
+    const uint64_t local = offset + done - seg.start;
+    const uint64_t take = std::min(seg.bytes - local, n - done);
+    LOB_RETURN_IF_ERROR(sys_->pool()->ReadSegmentRange(
+        leaf_area_id(), seg.page, seg.bytes, local, take, out->data() + done));
+    done += take;
+  }
+  return Status::OK();
+}
+
+Status StarburstManager::AppendLocked(ObjectId id, Descriptor* d,
+                                      std::string_view data, OpContext* ctx) {
+  (void)id;
+  uint64_t pos = 0;
+  const uint64_t P = page_size();
+  // 1. Fill whatever allocated space the last segment still has.
+  if (!d->ptrs.empty()) {
+    auto map = MapSegments(*d);
+    const SegInfo& last = map.back();
+    const uint64_t capacity = static_cast<uint64_t>(last.alloc) * P;
+    if (last.bytes < capacity) {
+      const uint64_t take = std::min<uint64_t>(capacity - last.bytes,
+                                               data.size());
+      LOB_RETURN_IF_ERROR(sys_->pool()->WriteSegmentRange(
+          leaf_area_id(), last.page, last.bytes, last.bytes, take,
+          data.data()));
+      const PageId p0 = last.page + static_cast<PageId>(last.bytes / P);
+      const PageId p1 =
+          last.page + static_cast<PageId>((last.bytes + take - 1) / P);
+      ctx->DeferFlush(leaf_area_id(), p0, p1 - p0 + 1);
+      d->used_bytes += static_cast<uint32_t>(take);
+      pos = take;
+    }
+  }
+  if (pos == data.size()) return Status::OK();
+
+  // 2. The pattern's first segment size is set by the first append.
+  if (d->ptrs.empty() && d->first_pages == 0) {
+    d->first_pages = static_cast<uint32_t>(std::min<uint64_t>(
+        CeilDiv(data.size() - pos, P), options_.max_segment_pages));
+  }
+
+  // 3. A trimmed last segment that overflowed is rebuilt to pattern size
+  //    together with the remaining data (keeps intermediate sizes
+  //    implicit).
+  if (!d->ptrs.empty()) {
+    const uint32_t last_idx = static_cast<uint32_t>(d->ptrs.size() - 1);
+    if (d->last_alloc_pages != PatternPages(d->first_pages, last_idx)) {
+      auto map = MapSegments(*d);
+      const SegInfo& last = map.back();
+      std::string tail(last.bytes, '\0');
+      LOB_RETURN_IF_ERROR(ReadRange(map, last.start, last.bytes,
+                                    tail.data()));
+      tail.append(data.substr(pos));
+      LOB_RETURN_IF_ERROR(sys_->leaf_area()->Free(last.page, last.alloc));
+      LOB_RETURN_IF_ERROR(
+          sys_->pool()->Invalidate(leaf_area_id(), last.page, last.alloc));
+      d->ptrs.pop_back();
+      d->used_bytes -= static_cast<uint32_t>(last.bytes);
+      return RebuildTail(d, d->ptrs.size(), tail, ctx);
+    }
+  }
+
+  // 4. Allocate pattern-sized successors until the data is stored. The
+  //    last segment keeps its full pattern allocation and is filled by
+  //    subsequent appends; trimming happens when updates reorganize it.
+  while (pos < data.size()) {
+    const uint32_t idx = static_cast<uint32_t>(d->ptrs.size());
+    const uint32_t pattern = PatternPages(d->first_pages, idx);
+    if (pattern == 0) return Status::Internal("empty growth pattern");
+    const uint64_t rem = data.size() - pos;
+    const uint32_t pages = pattern;
+    auto seg = sys_->leaf_area()->Allocate(pages);
+    if (!seg.ok()) return seg.status();
+    const uint64_t take = std::min<uint64_t>(
+        static_cast<uint64_t>(pages) * P, rem);
+    LOB_RETURN_IF_ERROR(sys_->pool()->WriteFreshSegment(
+        leaf_area_id(), seg->first_page, data.data() + pos, take));
+    d->ptrs.push_back(seg->first_page);
+    d->last_alloc_pages = pages;
+    d->used_bytes += static_cast<uint32_t>(take);
+    pos += take;
+  }
+  return Status::OK();
+}
+
+Status StarburstManager::Append(ObjectId id, std::string_view data) {
+  if (data.empty()) return Status::OK();
+  auto d = Load(id);
+  if (!d.ok()) return d.status();
+  OpContext ctx(sys_->pool());
+  LOB_RETURN_IF_ERROR(AppendLocked(id, &d.value(), data, &ctx));
+  LOB_RETURN_IF_ERROR(Save(id, *d));
+  return ctx.Finish();
+}
+
+Status StarburstManager::RebuildTail(Descriptor* d, size_t k,
+                                     std::string_view tail, OpContext* ctx) {
+  const uint64_t P = page_size();
+  LOB_CHECK_LE(k, d->ptrs.size());
+  d->ptrs.resize(k);
+  // Segments [0, k) are middles: pattern-sized and full by invariant.
+  uint64_t prefix = 0;
+  for (size_t i = 0; i < k; ++i) {
+    prefix += static_cast<uint64_t>(
+                  PatternPages(d->first_pages, static_cast<uint32_t>(i))) *
+              P;
+  }
+  d->used_bytes = static_cast<uint32_t>(prefix);
+
+  if (tail.empty()) {
+    if (k == 0) {
+      d->first_pages = 0;
+      d->last_alloc_pages = 0;
+    } else {
+      d->last_alloc_pages =
+          PatternPages(d->first_pages, static_cast<uint32_t>(k - 1));
+    }
+    return Status::OK();
+  }
+  if (d->first_pages == 0) {
+    d->first_pages = static_cast<uint32_t>(
+        std::min<uint64_t>(CeilDiv(tail.size(), P),
+                           options_.max_segment_pages));
+  }
+  uint64_t pos = 0;
+  while (pos < tail.size()) {
+    const uint32_t idx = static_cast<uint32_t>(d->ptrs.size());
+    const uint32_t pattern = PatternPages(d->first_pages, idx);
+    const uint64_t rem = tail.size() - pos;
+    const uint32_t pages = static_cast<uint32_t>(
+        std::min<uint64_t>(pattern, CeilDiv(rem, P)));
+    auto seg = sys_->leaf_area()->Allocate(pages);
+    if (!seg.ok()) return seg.status();
+    const uint64_t take =
+        std::min<uint64_t>(static_cast<uint64_t>(pages) * P, rem);
+    // Write through copy-buffer-sized chunks (paper 3.5). Chunks are
+    // page-aligned, so each lands in fresh pages with one sequential call.
+    uint64_t part = 0;
+    while (part < take) {
+      const uint64_t chunk =
+          std::min<uint64_t>(take - part, sys_->config().copy_buffer_bytes);
+      LOB_RETURN_IF_ERROR(sys_->pool()->WriteFreshSegment(
+          leaf_area_id(), seg->first_page + static_cast<PageId>(part / P),
+          tail.data() + pos + part, chunk));
+      part += chunk;
+    }
+    (void)ctx;
+    d->ptrs.push_back(seg->first_page);
+    d->last_alloc_pages = pages;
+    d->used_bytes += static_cast<uint32_t>(take);
+    pos += take;
+  }
+  return Status::OK();
+}
+
+Status StarburstManager::SpliceBytes(ObjectId id, uint64_t offset,
+                                     std::string_view inserted,
+                                     uint64_t deleted) {
+  auto d = Load(id);
+  if (!d.ok()) return d.status();
+  if (offset + deleted > d->used_bytes) {
+    return Status::OutOfRange("update past object end");
+  }
+  OpContext ctx(sys_->pool());
+  auto map = MapSegments(*d);
+  // Segment containing the start byte (tail copy) or 0 (full copy).
+  size_t k = 0;
+  if (options_.copy_mode == UpdateCopyMode::kTailCopy) {
+    while (k + 1 < map.size() &&
+           map[k].start + map[k].bytes <= offset) {
+      ++k;
+    }
+  }
+  const uint64_t prefix = map.empty() ? 0 : map[k].start;
+  const uint64_t size = d->used_bytes;
+
+  // Assemble the new tail through copy-buffer-sized reads.
+  std::string tail;
+  tail.reserve(size - prefix - deleted + inserted.size());
+  if (offset > prefix) {
+    const size_t at = tail.size();
+    tail.resize(at + (offset - prefix));
+    LOB_RETURN_IF_ERROR(ReadRange(map, prefix, offset - prefix, &tail[at]));
+  }
+  tail.append(inserted);
+  if (offset + deleted < size) {
+    const size_t at = tail.size();
+    tail.resize(at + (size - offset - deleted));
+    LOB_RETURN_IF_ERROR(ReadRange(map, offset + deleted,
+                                  size - offset - deleted, &tail[at]));
+  }
+  // Free the old tail segments, then write the new ones.
+  for (size_t i = k; i < map.size(); ++i) {
+    LOB_RETURN_IF_ERROR(sys_->leaf_area()->Free(map[i].page, map[i].alloc));
+    LOB_RETURN_IF_ERROR(
+        sys_->pool()->Invalidate(leaf_area_id(), map[i].page, map[i].alloc));
+  }
+  LOB_RETURN_IF_ERROR(RebuildTail(&d.value(), k, tail, &ctx));
+  LOB_RETURN_IF_ERROR(Save(id, *d));
+  return ctx.Finish();
+}
+
+Status StarburstManager::Insert(ObjectId id, uint64_t offset,
+                                std::string_view data) {
+  if (data.empty()) return Status::OK();
+  auto d = Load(id);
+  if (!d.ok()) return d.status();
+  if (offset > d->used_bytes) {
+    return Status::OutOfRange("insert past object end");
+  }
+  if (offset == d->used_bytes) return Append(id, data);
+  return SpliceBytes(id, offset, data, 0);
+}
+
+Status StarburstManager::Delete(ObjectId id, uint64_t offset, uint64_t n) {
+  if (n == 0) return Status::OK();
+  return SpliceBytes(id, offset, {}, n);
+}
+
+Status StarburstManager::Replace(ObjectId id, uint64_t offset,
+                                 std::string_view data) {
+  if (data.empty()) return Status::OK();
+  auto d = Load(id);
+  if (!d.ok()) return d.status();
+  if (offset + data.size() > d->used_bytes) {
+    return Status::OutOfRange("replace past object end");
+  }
+  OpContext ctx(sys_->pool());
+  auto map = MapSegments(*d);
+  uint64_t done = 0;
+  for (size_t i = 0; i < map.size() && done < data.size(); ++i) {
+    SegInfo& seg = map[i];
+    const uint64_t seg_end = seg.start + seg.bytes;
+    if (seg_end <= offset + done) continue;
+    const uint64_t local = offset + done - seg.start;
+    const uint64_t take = std::min(seg.bytes - local, data.size() - done);
+    if (sys_->config().shadowing) {
+      // Shadow the whole segment (paper 3.3): copy to a new segment with
+      // the replaced bytes applied.
+      std::string content(seg.bytes, '\0');
+      LOB_RETURN_IF_ERROR(sys_->pool()->ReadSegmentRange(
+          leaf_area_id(), seg.page, seg.bytes, 0, seg.bytes, content.data()));
+      content.replace(local, take, data.substr(done, take));
+      auto ns = sys_->leaf_area()->Allocate(seg.alloc);
+      if (!ns.ok()) return ns.status();
+      const uint64_t P2 = page_size();
+      uint64_t part = 0;
+      while (part < content.size()) {
+        const uint64_t chunk = std::min<uint64_t>(
+            content.size() - part, sys_->config().copy_buffer_bytes);
+        LOB_RETURN_IF_ERROR(sys_->pool()->WriteFreshSegment(
+            leaf_area_id(), ns->first_page + static_cast<PageId>(part / P2),
+            content.data() + part, chunk));
+        part += chunk;
+      }
+      LOB_RETURN_IF_ERROR(sys_->leaf_area()->Free(seg.page, seg.alloc));
+      LOB_RETURN_IF_ERROR(
+          sys_->pool()->Invalidate(leaf_area_id(), seg.page, seg.alloc));
+      d->ptrs[i] = ns->first_page;
+      seg.page = ns->first_page;
+    } else {
+      LOB_RETURN_IF_ERROR(sys_->pool()->WriteSegmentRange(
+          leaf_area_id(), seg.page, seg.bytes, local, take,
+          data.data() + done));
+      const PageId p0 = seg.page + static_cast<PageId>(local / page_size());
+      const PageId p1 = seg.page + static_cast<PageId>((local + take - 1) /
+                                                       page_size());
+      ctx.DeferFlush(leaf_area_id(), p0, p1 - p0 + 1);
+    }
+    done += take;
+  }
+  LOB_RETURN_IF_ERROR(Save(id, *d));
+  return ctx.Finish();
+}
+
+StatusOr<uint64_t> StarburstManager::Size(ObjectId id) {
+  auto d = Load(id);
+  if (!d.ok()) return d.status();
+  return static_cast<uint64_t>(d->used_bytes);
+}
+
+Status StarburstManager::Destroy(ObjectId id) {
+  auto d = Load(id);
+  if (!d.ok()) return d.status();
+  for (const SegInfo& seg : MapSegments(*d)) {
+    LOB_RETURN_IF_ERROR(sys_->leaf_area()->Free(seg.page, seg.alloc));
+    LOB_RETURN_IF_ERROR(
+        sys_->pool()->Invalidate(leaf_area_id(), seg.page, seg.alloc));
+  }
+  LOB_RETURN_IF_ERROR(sys_->pool()->Invalidate(sys_->meta_area()->id(), id, 1));
+  return sys_->meta_area()->Free(id, 1);
+}
+
+Status StarburstManager::TrimLast(ObjectId id) {
+  auto d = Load(id);
+  if (!d.ok()) return d.status();
+  if (d->ptrs.empty()) return Status::OK();
+  auto map = MapSegments(*d);
+  const SegInfo& last = map.back();
+  const uint32_t needed =
+      static_cast<uint32_t>(CeilDiv(last.bytes, page_size()));
+  if (needed < last.alloc) {
+    LOB_RETURN_IF_ERROR(sys_->leaf_area()->Free(last.page + needed,
+                                                last.alloc - needed));
+    d->last_alloc_pages = needed;
+    LOB_RETURN_IF_ERROR(Save(id, *d));
+  }
+  return Status::OK();
+}
+
+StatusOr<ObjectStorageStats> StarburstManager::GetStorageStats(ObjectId id) {
+  auto d = Load(id);
+  if (!d.ok()) return d.status();
+  ObjectStorageStats out;
+  out.object_bytes = d->used_bytes;
+  out.index_pages = 1;  // the descriptor
+  out.segments = static_cast<uint32_t>(d->ptrs.size());
+  for (const SegInfo& seg : MapSegments(*d)) out.leaf_pages += seg.alloc;
+  out.tree_height = 1;
+  return out;
+}
+
+Status StarburstManager::VisitSegments(
+    ObjectId id, const std::function<Status(uint64_t, uint32_t)>& fn) {
+  auto d = Load(id);
+  if (!d.ok()) return d.status();
+  for (const SegInfo& seg : MapSegments(*d)) {
+    LOB_RETURN_IF_ERROR(fn(seg.bytes, seg.alloc));
+  }
+  return Status::OK();
+}
+
+Status StarburstManager::Validate(ObjectId id) {
+  auto d = Load(id);
+  if (!d.ok()) return d.status();
+  auto map = MapSegments(*d);
+  uint64_t total = 0;
+  for (size_t i = 0; i < map.size(); ++i) {
+    const SegInfo& seg = map[i];
+    if (i + 1 < map.size()) {
+      if (seg.bytes != static_cast<uint64_t>(seg.alloc) * page_size()) {
+        return Status::Corruption("middle segment not full");
+      }
+    } else {
+      if (seg.bytes == 0 && map.size() > 0 && d->used_bytes != total) {
+        return Status::Corruption("empty last segment");
+      }
+      if (CeilDiv(seg.bytes, page_size()) > seg.alloc) {
+        return Status::Corruption("last segment bytes exceed allocation");
+      }
+    }
+    total += seg.bytes;
+  }
+  if (total != d->used_bytes) {
+    return Status::Corruption("segment bytes do not sum to object size");
+  }
+  return Status::OK();
+}
+
+}  // namespace lob

@@ -1,0 +1,64 @@
+#include "workload/maintenance.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+
+namespace lob {
+
+StatusOr<IoStats> CompactObject(StorageSystem* sys, LargeObjectManager* mgr,
+                                ObjectId id, uint64_t chunk_bytes) {
+  if (chunk_bytes == 0) return Status::InvalidArgument("zero chunk size");
+  const IoStats before = sys->stats();
+  auto size = mgr->Size(id);
+  if (!size.ok()) return size.status();
+  // Read the whole object (chunked, like the Starburst staging buffer),
+  // truncate it, then append it back in large sequential chunks. Appends
+  // rebuild the engine's ideal layout: full fixed leaves for ESM, doubling
+  // extents for Starburst/EOS.
+  std::string content;
+  content.reserve(*size);
+  std::string chunk;
+  for (uint64_t at = 0; at < *size; at += chunk_bytes) {
+    const uint64_t take = std::min(chunk_bytes, *size - at);
+    LOB_RETURN_IF_ERROR(mgr->Read(id, at, take, &chunk));
+    content += chunk;
+  }
+  LOB_RETURN_IF_ERROR(mgr->Delete(id, 0, *size));
+  for (uint64_t at = 0; at < content.size(); at += chunk_bytes) {
+    const uint64_t take = std::min(chunk_bytes, content.size() - at);
+    LOB_RETURN_IF_ERROR(
+        mgr->Append(id, std::string_view(content).substr(at, take)));
+  }
+  // Release the growth slack of the rebuilt last segment.
+  LOB_RETURN_IF_ERROR(mgr->Trim(id));
+  return sys->stats() - before;
+}
+
+StatusOr<std::map<uint32_t, uint32_t>> SegmentHistogram(
+    LargeObjectManager* mgr, ObjectId id) {
+  std::map<uint32_t, uint32_t> hist;
+  LOB_RETURN_IF_ERROR(
+      mgr->VisitSegments(id, [&](uint64_t bytes, uint32_t pages) {
+        (void)bytes;
+        hist[pages]++;
+        return Status::OK();
+      }));
+  return hist;
+}
+
+StatusOr<double> MeanSegmentPages(LargeObjectManager* mgr, ObjectId id) {
+  uint64_t pages = 0, segments = 0;
+  LOB_RETURN_IF_ERROR(
+      mgr->VisitSegments(id, [&](uint64_t bytes, uint32_t seg_pages) {
+        (void)bytes;
+        pages += seg_pages;
+        segments++;
+        return Status::OK();
+      }));
+  if (segments == 0) return 0.0;
+  return static_cast<double>(pages) / static_cast<double>(segments);
+}
+
+}  // namespace lob

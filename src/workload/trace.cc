@@ -1,0 +1,224 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace lob {
+
+const char* TraceOpKindName(TraceOp::Kind kind) {
+  switch (kind) {
+    case TraceOp::Kind::kAppend:
+      return "append";
+    case TraceOp::Kind::kInsert:
+      return "insert";
+    case TraceOp::Kind::kDelete:
+      return "delete";
+    case TraceOp::Kind::kRead:
+      return "read";
+    case TraceOp::Kind::kReplace:
+      return "replace";
+  }
+  return "?";
+}
+
+namespace {
+
+bool KindFromName(const char* name, TraceOp::Kind* kind) {
+  for (auto k : {TraceOp::Kind::kAppend, TraceOp::Kind::kInsert,
+                 TraceOp::Kind::kDelete, TraceOp::Kind::kRead,
+                 TraceOp::Kind::kReplace}) {
+    if (std::strcmp(name, TraceOpKindName(k)) == 0) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Writes(TraceOp::Kind kind) {
+  return kind == TraceOp::Kind::kAppend || kind == TraceOp::Kind::kInsert ||
+         kind == TraceOp::Kind::kReplace;
+}
+
+}  // namespace
+
+uint64_t Trace::BytesWritten() const {
+  uint64_t total = 0;
+  for (const TraceOp& op : ops) {
+    if (Writes(op.kind)) total += op.size;
+  }
+  return total;
+}
+
+uint64_t Trace::BytesRead() const {
+  uint64_t total = 0;
+  for (const TraceOp& op : ops) {
+    if (op.kind == TraceOp::Kind::kRead) total += op.size;
+  }
+  return total;
+}
+
+Trace GenerateUpdateMixTrace(uint64_t build_bytes, uint64_t append_bytes,
+                             const MixSpec& mix) {
+  Trace trace;
+  Rng rng(mix.seed);
+  uint64_t size = 0;
+  for (uint64_t at = 0; at < build_bytes; at += append_bytes) {
+    TraceOp op;
+    op.kind = TraceOp::Kind::kAppend;
+    op.size = std::min(append_bytes, build_bytes - at);
+    op.seed = rng.Next();
+    trace.ops.push_back(op);
+    size += op.size;
+  }
+  uint64_t last_insert =
+      rng.Uniform(mix.mean_op_bytes / 2, mix.mean_op_bytes * 3 / 2);
+  for (uint32_t i = 0; i < mix.total_ops; ++i) {
+    const double p = rng.NextDouble();
+    TraceOp op;
+    if (p < mix.read_frac) {
+      op.kind = TraceOp::Kind::kRead;
+      op.size = std::min<uint64_t>(
+          rng.Uniform(mix.mean_op_bytes / 2, mix.mean_op_bytes * 3 / 2),
+          size);
+      op.offset = size > op.size ? rng.Uniform(0, size - op.size) : 0;
+      if (op.size == 0) continue;
+    } else if (p < mix.read_frac + mix.insert_frac) {
+      op.kind = TraceOp::Kind::kInsert;
+      op.size = rng.Uniform(mix.mean_op_bytes / 2, mix.mean_op_bytes * 3 / 2);
+      op.offset = rng.Uniform(0, size);
+      op.seed = rng.Next();
+      last_insert = op.size;
+      size += op.size;
+    } else {
+      op.kind = TraceOp::Kind::kDelete;
+      op.size = std::min<uint64_t>(last_insert, size);
+      if (op.size == 0) continue;
+      op.offset = rng.Uniform(0, size - op.size);
+      size -= op.size;
+    }
+    trace.ops.push_back(op);
+  }
+  return trace;
+}
+
+StatusOr<IoStats> ApplyTrace(StorageSystem* sys, LargeObjectManager* mgr,
+                             ObjectId id, const Trace& trace) {
+  const IoStats before = sys->stats();
+  std::string buf;
+  for (size_t i = 0; i < trace.ops.size(); ++i) {
+    const TraceOp& op = trace.ops[i];
+    Status s;
+    if (Writes(op.kind)) {
+      Rng content(op.seed);
+      FillBytes(&content, op.size, &buf);
+    }
+    switch (op.kind) {
+      case TraceOp::Kind::kAppend:
+        s = mgr->Append(id, buf);
+        break;
+      case TraceOp::Kind::kInsert:
+        s = mgr->Insert(id, op.offset, buf);
+        break;
+      case TraceOp::Kind::kReplace:
+        s = mgr->Replace(id, op.offset, buf);
+        break;
+      case TraceOp::Kind::kDelete:
+        s = mgr->Delete(id, op.offset, op.size);
+        break;
+      case TraceOp::Kind::kRead:
+        s = mgr->Read(id, op.offset, op.size, &buf);
+        break;
+    }
+    if (!s.ok()) {
+      return Status(s.code(), "trace op " + std::to_string(i) + " (" +
+                                  TraceOpKindName(op.kind) +
+                                  ") failed: " + s.message());
+    }
+  }
+  return sys->stats() - before;
+}
+
+std::string ExpectedContent(const Trace& trace) {
+  std::string content;
+  std::string buf;
+  for (const TraceOp& op : trace.ops) {
+    if (Writes(op.kind)) {
+      Rng gen(op.seed);
+      FillBytes(&gen, op.size, &buf);
+    }
+    switch (op.kind) {
+      case TraceOp::Kind::kAppend:
+        content += buf;
+        break;
+      case TraceOp::Kind::kInsert:
+        content.insert(op.offset, buf);
+        break;
+      case TraceOp::Kind::kReplace:
+        content.replace(op.offset, op.size, buf);
+        break;
+      case TraceOp::Kind::kDelete:
+        content.erase(op.offset, op.size);
+        break;
+      case TraceOp::Kind::kRead:
+        break;
+    }
+  }
+  return content;
+}
+
+Status VerifyTrace(LargeObjectManager* mgr, ObjectId id, const Trace& trace) {
+  const std::string expect = ExpectedContent(trace);
+  auto size = mgr->Size(id);
+  if (!size.ok()) return size.status();
+  if (*size != expect.size()) {
+    return Status::Corruption("trace replay size mismatch");
+  }
+  std::string got;
+  LOB_RETURN_IF_ERROR(mgr->Read(id, 0, expect.size(), &got));
+  if (got != expect) return Status::Corruption("trace replay content mismatch");
+  return Status::OK();
+}
+
+Status SaveTrace(const Trace& trace, const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "w"), &std::fclose);
+  if (f == nullptr) return Status::Internal("cannot open trace for writing");
+  for (const TraceOp& op : trace.ops) {
+    if (std::fprintf(f.get(), "%s %llu %llu %llu\n",
+                     TraceOpKindName(op.kind),
+                     static_cast<unsigned long long>(op.offset),
+                     static_cast<unsigned long long>(op.size),
+                     static_cast<unsigned long long>(op.seed)) < 0) {
+      return Status::Internal("trace write failed");
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<Trace> LoadTrace(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "r"), &std::fclose);
+  if (f == nullptr) return Status::NotFound("no such trace file");
+  Trace trace;
+  char kind_buf[16];
+  unsigned long long offset, size, seed;
+  while (std::fscanf(f.get(), "%15s %llu %llu %llu", kind_buf, &offset,
+                     &size, &seed) == 4) {
+    TraceOp op;
+    if (!KindFromName(kind_buf, &op.kind)) {
+      return Status::Corruption("unknown trace op kind");
+    }
+    op.offset = offset;
+    op.size = size;
+    op.seed = seed;
+    trace.ops.push_back(op);
+  }
+  return trace;
+}
+
+}  // namespace lob

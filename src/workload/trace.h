@@ -1,0 +1,73 @@
+// Operation traces: deterministic, serializable workloads.
+//
+// A trace is a flat list of byte-level operations that can be generated
+// from a workload spec, saved to / loaded from a text file, and applied to
+// any LargeObjectManager. Traces make experiments exactly repeatable
+// across engines (the cross-engine equivalence tests replay one trace
+// everywhere) and let users capture a production-like access pattern once
+// and benchmark all three structures against it.
+//
+// Data payloads are not stored: each write-type operation carries a seed
+// and the bytes are regenerated deterministically on replay, so a trace
+// file stays tiny even for gigabytes of traffic.
+
+#ifndef LOB_WORKLOAD_TRACE_H_
+#define LOB_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/large_object.h"
+#include "core/storage_system.h"
+#include "workload/workload.h"
+
+namespace lob {
+
+/// One traced operation.
+struct TraceOp {
+  enum class Kind : uint8_t { kAppend, kInsert, kDelete, kRead, kReplace };
+
+  Kind kind = Kind::kAppend;
+  uint64_t offset = 0;  ///< ignored for appends
+  uint64_t size = 0;
+  uint64_t seed = 0;  ///< payload generator seed (write kinds only)
+};
+
+const char* TraceOpKindName(TraceOp::Kind kind);
+
+/// A replayable operation sequence.
+struct Trace {
+  std::vector<TraceOp> ops;
+
+  /// Total bytes written by append/insert/replace operations.
+  uint64_t BytesWritten() const;
+  /// Total bytes read.
+  uint64_t BytesRead() const;
+};
+
+/// Generates a trace following the paper's 4.4 methodology: `build_bytes`
+/// of appends in `append_bytes` chunks, then `ops` operations mixing
+/// reads/inserts/deletes per `mix` with sizes +/-50% about the mean and
+/// uniformly distributed positions; deletes mirror the previous insert.
+Trace GenerateUpdateMixTrace(uint64_t build_bytes, uint64_t append_bytes,
+                             const MixSpec& mix);
+
+/// Applies the trace to an (empty) object; returns accumulated I/O.
+/// Content correctness can be verified afterwards with VerifyTrace.
+StatusOr<IoStats> ApplyTrace(StorageSystem* sys, LargeObjectManager* mgr,
+                             ObjectId id, const Trace& trace);
+
+/// Recomputes the expected object content of a trace in memory.
+std::string ExpectedContent(const Trace& trace);
+
+/// Reads the object back and compares with ExpectedContent.
+Status VerifyTrace(LargeObjectManager* mgr, ObjectId id, const Trace& trace);
+
+/// Text serialization: one op per line, "<kind> <offset> <size> <seed>".
+Status SaveTrace(const Trace& trace, const std::string& path);
+StatusOr<Trace> LoadTrace(const std::string& path);
+
+}  // namespace lob
+
+#endif  // LOB_WORKLOAD_TRACE_H_

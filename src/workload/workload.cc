@@ -1,0 +1,153 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace lob {
+
+void FillBytes(Rng* rng, uint64_t n, std::string* out) {
+  out->resize(n);
+  // 8 bytes of entropy per word is plenty for storage-layer content.
+  uint64_t i = 0;
+  while (i + 8 <= n) {
+    const uint64_t v = rng->Next();
+    std::memcpy(out->data() + i, &v, 8);
+    i += 8;
+  }
+  while (i < n) {
+    (*out)[i++] = static_cast<char>(rng->Next() & 0xff);
+  }
+}
+
+StatusOr<PhaseResult> BuildObject(StorageSystem* sys, LargeObjectManager* mgr,
+                                  ObjectId id, uint64_t total_bytes,
+                                  uint64_t append_bytes, uint64_t seed) {
+  LOB_CHECK_GT(append_bytes, 0u);
+  Rng rng(seed);
+  std::string chunk;
+  const IoStats before = sys->stats();
+  uint64_t written = 0;
+  while (written < total_bytes) {
+    const uint64_t take = std::min(append_bytes, total_bytes - written);
+    FillBytes(&rng, take, &chunk);
+    LOB_RETURN_IF_ERROR(mgr->Append(id, chunk));
+    written += take;
+  }
+  return PhaseResult{sys->stats() - before};
+}
+
+StatusOr<PhaseResult> SequentialScan(StorageSystem* sys,
+                                     LargeObjectManager* mgr, ObjectId id,
+                                     uint64_t scan_bytes) {
+  LOB_CHECK_GT(scan_bytes, 0u);
+  auto size = mgr->Size(id);
+  if (!size.ok()) return size.status();
+  std::string buf;
+  const IoStats before = sys->stats();
+  uint64_t done = 0;
+  while (done < *size) {
+    const uint64_t take = std::min(scan_bytes, *size - done);
+    LOB_RETURN_IF_ERROR(mgr->Read(id, done, take, &buf));
+    done += take;
+  }
+  return PhaseResult{sys->stats() - before};
+}
+
+StatusOr<double> CurrentUtilization(StorageSystem* sys,
+                                    LargeObjectManager* mgr, ObjectId id) {
+  auto size = mgr->Size(id);
+  if (!size.ok()) return size.status();
+  const uint64_t allocated = sys->AllocatedBytes();
+  if (allocated == 0) return 1.0;
+  return static_cast<double>(*size) / static_cast<double>(allocated);
+}
+
+StatusOr<std::vector<MixPoint>> RunUpdateMix(StorageSystem* sys,
+                                             LargeObjectManager* mgr,
+                                             ObjectId id,
+                                             const MixSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<MixPoint> points;
+  std::string buf;
+
+  // Delete sizes mirror the immediately preceding insert (paper 4.4).
+  uint64_t last_insert_size =
+      rng.Uniform(spec.mean_op_bytes / 2, spec.mean_op_bytes * 3 / 2);
+
+  MixPoint window;
+  double window_read_ms = 0, window_insert_ms = 0, window_delete_ms = 0;
+
+  for (uint32_t op = 1; op <= spec.total_ops; ++op) {
+    auto size_or = mgr->Size(id);
+    if (!size_or.ok()) return size_or.status();
+    const uint64_t size = *size_or;
+    const double p = rng.NextDouble();
+    const IoStats before = sys->stats();
+    if (p < spec.read_frac) {
+      uint64_t n = rng.Uniform(spec.mean_op_bytes / 2,
+                               spec.mean_op_bytes * 3 / 2);
+      n = std::min(n, size);
+      const uint64_t off = size > n ? rng.Uniform(0, size - n) : 0;
+      LOB_RETURN_IF_ERROR(mgr->Read(id, off, n, &buf));
+      window.reads++;
+      window_read_ms += (sys->stats() - before).ms;
+    } else if (p < spec.read_frac + spec.insert_frac) {
+      const uint64_t n = rng.Uniform(spec.mean_op_bytes / 2,
+                                     spec.mean_op_bytes * 3 / 2);
+      const uint64_t off = rng.Uniform(0, size);
+      FillBytes(&rng, n, &buf);
+      LOB_RETURN_IF_ERROR(mgr->Insert(id, off, buf));
+      last_insert_size = n;
+      window.inserts++;
+      window_insert_ms += (sys->stats() - before).ms;
+    } else {
+      uint64_t n = std::min(last_insert_size, size);
+      if (n > 0) {
+        const uint64_t off = rng.Uniform(0, size - n);
+        LOB_RETURN_IF_ERROR(mgr->Delete(id, off, n));
+        window.deletes++;
+        window_delete_ms += (sys->stats() - before).ms;
+      }
+    }
+    if (op % spec.window_ops == 0 || op == spec.total_ops) {
+      window.ops_done = op;
+      window.avg_read_ms =
+          window.reads ? window_read_ms / window.reads : 0;
+      window.avg_insert_ms =
+          window.inserts ? window_insert_ms / window.inserts : 0;
+      window.avg_delete_ms =
+          window.deletes ? window_delete_ms / window.deletes : 0;
+      auto util = CurrentUtilization(sys, mgr, id);
+      if (!util.ok()) return util.status();
+      window.utilization = *util;
+      points.push_back(window);
+      window = MixPoint();
+      window_read_ms = window_insert_ms = window_delete_ms = 0;
+    }
+  }
+  return points;
+}
+
+uint64_t FlagValue(int argc, char** argv, const std::string& name,
+                   uint64_t def) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::strtoull(arg.c_str() + prefix.size(), nullptr, 10);
+    }
+  }
+  return def;
+}
+
+bool FlagPresent(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace lob

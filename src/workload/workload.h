@@ -1,0 +1,87 @@
+// Experiment driver implementing the paper's measurement methodology (4).
+//
+// * Object build: a 10 M-byte object created by successive fixed-size
+//   appends (4.2).
+// * Sequential scan: the object read from beginning to end in fixed-size
+//   chunks (4.3).
+// * Random update mix: 40% reads, 30% inserts, 30% deletes; operation
+//   sizes uniform within +/-50% of the mean; positions uniform over the
+//   object; each delete is sized like the immediately preceding insert so
+//   the object size stays stable; costs are averaged per window of
+//   operations and storage utilization is sampled at each mark (4.4).
+
+#ifndef LOB_WORKLOAD_WORKLOAD_H_
+#define LOB_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/large_object.h"
+#include "core/storage_system.h"
+
+namespace lob {
+
+/// Cost of one phase of an experiment.
+struct PhaseResult {
+  IoStats io;
+  double Ms() const { return io.ms; }
+  double Seconds() const { return io.ms / 1000.0; }
+};
+
+/// Fills `out` with `n` deterministic pseudo-random bytes.
+void FillBytes(Rng* rng, uint64_t n, std::string* out);
+
+/// Builds an object of `total_bytes` by appending `append_bytes` chunks.
+StatusOr<PhaseResult> BuildObject(StorageSystem* sys, LargeObjectManager* mgr,
+                                  ObjectId id, uint64_t total_bytes,
+                                  uint64_t append_bytes, uint64_t seed = 1);
+
+/// Scans the whole object from the beginning in `scan_bytes` chunks.
+StatusOr<PhaseResult> SequentialScan(StorageSystem* sys,
+                                     LargeObjectManager* mgr, ObjectId id,
+                                     uint64_t scan_bytes);
+
+/// Parameters of the random read/insert/delete mix (paper 4.4).
+struct MixSpec {
+  double read_frac = 0.4;
+  double insert_frac = 0.3;  // remainder = deletes
+  uint64_t mean_op_bytes = 10000;
+  uint32_t total_ops = 20000;
+  uint32_t window_ops = 2000;  ///< one mark per window
+  uint64_t seed = 1;
+};
+
+/// One mark of the update-mix experiment: averages over the window that
+/// ended here plus a utilization sample.
+struct MixPoint {
+  uint32_t ops_done = 0;
+  double avg_read_ms = 0;
+  double avg_insert_ms = 0;
+  double avg_delete_ms = 0;
+  uint32_t reads = 0;
+  uint32_t inserts = 0;
+  uint32_t deletes = 0;
+  double utilization = 0;  ///< object bytes / allocated bytes, with index
+};
+
+/// Runs the update mix over an already-built object.
+StatusOr<std::vector<MixPoint>> RunUpdateMix(StorageSystem* sys,
+                                             LargeObjectManager* mgr,
+                                             ObjectId id,
+                                             const MixSpec& spec);
+
+/// Storage utilization right now: object size over all allocated bytes of
+/// both database areas (valid while the system hosts this single object).
+StatusOr<double> CurrentUtilization(StorageSystem* sys,
+                                    LargeObjectManager* mgr, ObjectId id);
+
+/// Tiny command line helper: returns the value of --name=value or `def`.
+uint64_t FlagValue(int argc, char** argv, const std::string& name,
+                   uint64_t def);
+bool FlagPresent(int argc, char** argv, const std::string& name);
+
+}  // namespace lob
+
+#endif  // LOB_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "buddy/buddy_tree.h"
+#include "common/rng.h"
+
+namespace lob {
+namespace {
+
+TEST(BuddyTreeTest, FreshSpaceIsFullyFree) {
+  BuddyTree tree(4);
+  EXPECT_EQ(tree.total_blocks(), 16u);
+  EXPECT_EQ(tree.free_blocks(), 16u);
+  EXPECT_EQ(tree.LargestFree(), 16u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BuddyTreeTest, AllocatePowerOfTwo) {
+  BuddyTree tree(4);
+  auto a = tree.Allocate(4);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a % 4, 0u) << "buddy chunks are aligned";
+  EXPECT_EQ(tree.free_blocks(), 12u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BuddyTreeTest, AllocateTrimsNonPowerOfTwo) {
+  BuddyTree tree(4);
+  auto a = tree.Allocate(5);  // carved from an 8-chunk, 3 trimmed
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(tree.free_blocks(), 11u);
+  // The trimmed tail is immediately reusable.
+  auto b = tree.Allocate(3);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(tree.free_blocks(), 8u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BuddyTreeTest, AllocationsNeverOverlap) {
+  BuddyTree tree(6);
+  std::vector<bool> owned(64, false);
+  Rng rng(3);
+  while (true) {
+    uint32_t want = static_cast<uint32_t>(rng.Uniform(1, 7));
+    auto a = tree.Allocate(want);
+    if (!a.ok()) break;
+    for (uint32_t b = *a; b < *a + want; ++b) {
+      EXPECT_FALSE(owned[b]) << "block " << b << " double-allocated";
+      owned[b] = true;
+    }
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BuddyTreeTest, FreeWholeSegmentCoalesces) {
+  BuddyTree tree(4);
+  auto a = tree.Allocate(16);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(tree.LargestFree(), 0u);
+  ASSERT_TRUE(tree.Free(*a, 16).ok());
+  EXPECT_EQ(tree.LargestFree(), 16u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BuddyTreeTest, BuddiesCoalesceAcrossFrees) {
+  BuddyTree tree(4);
+  auto a = tree.Allocate(8);
+  auto b = tree.Allocate(8);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(tree.LargestFree(), 0u);
+  ASSERT_TRUE(tree.Free(*a, 8).ok());
+  EXPECT_EQ(tree.LargestFree(), 8u);
+  ASSERT_TRUE(tree.Free(*b, 8).ok());
+  EXPECT_EQ(tree.LargestFree(), 16u) << "buddies must merge";
+}
+
+TEST(BuddyTreeTest, PartialFreeOfSegment) {
+  // Paper 3.1: "a client may selectively free any portion of a previously
+  // allocated segment, not necessarily the whole segment."
+  BuddyTree tree(4);
+  auto a = tree.Allocate(8);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(tree.Free(*a + 5, 3).ok());  // trim the tail
+  EXPECT_EQ(tree.free_blocks(), 11u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  // The freed tail can serve a new small allocation.
+  auto b = tree.Allocate(2);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BuddyTreeTest, DoubleFreeIsCorruption) {
+  BuddyTree tree(4);
+  auto a = tree.Allocate(4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(tree.Free(*a, 4).ok());
+  EXPECT_EQ(tree.Free(*a, 4).code(), StatusCode::kCorruption);
+}
+
+TEST(BuddyTreeTest, RejectsBadRequests) {
+  BuddyTree tree(4);
+  EXPECT_EQ(tree.Allocate(0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree.Allocate(17).status().code(), StatusCode::kNoSpace);
+  EXPECT_EQ(tree.Free(0, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree.Free(15, 2).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuddyTreeTest, ExhaustionReturnsNoSpace) {
+  BuddyTree tree(3);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(tree.Allocate(1).ok());
+  EXPECT_EQ(tree.Allocate(1).status().code(), StatusCode::kNoSpace);
+}
+
+TEST(BuddyTreeTest, FragmentationRespectsAlignment) {
+  // With blocks 0 and 8 allocated, no aligned 8-chunk exists even though
+  // 14 blocks are free: classic buddy behaviour.
+  BuddyTree tree(4);
+  auto a = tree.Allocate(8);
+  auto b = tree.Allocate(8);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(tree.Free(*a + 1, 7).ok());
+  ASSERT_TRUE(tree.Free(*b + 1, 7).ok());
+  EXPECT_EQ(tree.free_blocks(), 14u);
+  EXPECT_EQ(tree.LargestFree(), 4u);
+  EXPECT_EQ(tree.Allocate(8).status().code(), StatusCode::kNoSpace);
+}
+
+TEST(BuddyTreeTest, BitmapRoundTrip) {
+  BuddyTree tree(6);
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) {
+    auto a = tree.Allocate(static_cast<uint32_t>(rng.Uniform(1, 6)));
+    ASSERT_TRUE(a.ok());
+  }
+  std::vector<char> bitmap(tree.BitmapBytes());
+  tree.SerializeBitmap(bitmap.data());
+  BuddyTree loaded = BuddyTree::FromBitmap(6, bitmap.data());
+  EXPECT_EQ(loaded.free_blocks(), tree.free_blocks());
+  EXPECT_EQ(loaded.LargestFree(), tree.LargestFree());
+  for (uint32_t b = 0; b < 64; ++b) {
+    EXPECT_EQ(loaded.IsFree(b), tree.IsFree(b));
+  }
+  EXPECT_TRUE(loaded.CheckInvariants());
+}
+
+// Property test: random allocate/free against a reference bitmap model.
+TEST(BuddyTreeProperty, RandomOpsMatchReferenceModel) {
+  BuddyTree tree(8);  // 256 blocks
+  std::map<uint32_t, uint32_t> live;  // start -> size
+  std::vector<bool> model(256, false);
+  Rng rng(99);
+  for (int step = 0; step < 5000; ++step) {
+    if (live.empty() || rng.Bernoulli(0.55)) {
+      uint32_t want = static_cast<uint32_t>(rng.Uniform(1, 16));
+      auto a = tree.Allocate(want);
+      if (a.ok()) {
+        for (uint32_t b = *a; b < *a + want; ++b) {
+          ASSERT_FALSE(model[b]);
+          model[b] = true;
+        }
+        live[*a] = want;
+      } else {
+        EXPECT_EQ(a.status().code(), StatusCode::kNoSpace);
+      }
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.Uniform(0, live.size() - 1)));
+      ASSERT_TRUE(tree.Free(it->first, it->second).ok());
+      for (uint32_t b = it->first; b < it->first + it->second; ++b) {
+        model[b] = false;
+      }
+      live.erase(it);
+    }
+    if (step % 500 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "at step " << step;
+      for (uint32_t b = 0; b < 256; ++b) {
+        ASSERT_EQ(tree.IsFree(b), !model[b]) << "block " << b;
+      }
+    }
+  }
+  // Free everything: the space must coalesce back to one 256-chunk.
+  for (const auto& [start, size] : live) {
+    ASSERT_TRUE(tree.Free(start, size).ok());
+  }
+  EXPECT_EQ(tree.LargestFree(), 256u);
+  EXPECT_EQ(tree.free_blocks(), 256u);
+}
+
+}  // namespace
+}  // namespace lob

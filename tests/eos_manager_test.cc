@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "core/storage_system.h"
+#include "eos/eos_manager.h"
+
+namespace lob {
+namespace {
+
+std::string Pattern(uint64_t seed, size_t n) {
+  std::string out(n, '\0');
+  Rng rng(seed);
+  for (auto& c : out) c = static_cast<char>('a' + rng.Uniform(0, 25));
+  return out;
+}
+
+class EosTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  EosTest() {
+    cfg_.buddy_space_order = 12;
+    sys_ = std::make_unique<StorageSystem>(cfg_);
+    EosOptions opt;
+    opt.threshold_pages = GetParam();
+    opt.limits.root_capacity = 16;
+    opt.limits.internal_capacity = 16;
+    mgr_ = std::make_unique<EosManager>(sys_.get(), opt);
+    auto id = mgr_->Create();
+    LOB_CHECK_OK(id.status());
+    id_ = *id;
+  }
+
+  void ExpectContent(const std::string& oracle) {
+    auto size = mgr_->Size(id_);
+    ASSERT_TRUE(size.ok());
+    ASSERT_EQ(*size, oracle.size());
+    std::string got;
+    ASSERT_TRUE(mgr_->Read(id_, 0, oracle.size(), &got).ok());
+    ASSERT_EQ(got, oracle);
+    ASSERT_TRUE(mgr_->Validate(id_).ok());
+  }
+
+  StorageConfig cfg_;
+  std::unique_ptr<StorageSystem> sys_;
+  std::unique_ptr<EosManager> mgr_;
+  ObjectId id_ = 0;
+};
+
+TEST_P(EosTest, EmptyObject) {
+  auto size = mgr_->Size(id_);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 0u);
+}
+
+TEST_P(EosTest, AppendGrowsLikeStarburst) {
+  // 3K appends: doubling segments 1,2,4,8,16 pages for 120000 bytes.
+  std::string oracle;
+  for (int i = 0; i < 40; ++i) {
+    std::string c = Pattern(static_cast<uint64_t>(i), 3000);
+    ASSERT_TRUE(mgr_->Append(id_, c).ok());
+    oracle += c;
+  }
+  ExpectContent(oracle);
+  auto stats = mgr_->GetStorageStats(id_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->segments, 5u);
+  EXPECT_EQ(stats->leaf_pages, 31u);
+  EXPECT_EQ(stats->tree_height, 1) << "EOS build trees are level 1";
+}
+
+TEST_P(EosTest, RandomRangeReads) {
+  std::string oracle;
+  for (int i = 0; i < 30; ++i) {
+    std::string c = Pattern(static_cast<uint64_t>(i), 10000);
+    ASSERT_TRUE(mgr_->Append(id_, c).ok());
+    oracle += c;
+  }
+  Rng rng(7);
+  for (int i = 0; i < 40; ++i) {
+    const uint64_t off = rng.Uniform(0, oracle.size() - 1);
+    const uint64_t n = rng.Uniform(1, oracle.size() - off);
+    std::string got;
+    ASSERT_TRUE(mgr_->Read(id_, off, n, &got).ok());
+    ASSERT_EQ(got, oracle.substr(off, n));
+  }
+}
+
+TEST_P(EosTest, InsertSplitsSegmentInPlace) {
+  std::string oracle = Pattern(1, 100000);
+  ASSERT_TRUE(mgr_->Append(id_, oracle).ok());
+  // Page-aligned insert: the split costs no data copying of the right
+  // part (it stays in place).
+  const std::string ins = Pattern(2, 5000);
+  ASSERT_TRUE(mgr_->Insert(id_, 8192, ins).ok());
+  oracle.insert(8192, ins);
+  ExpectContent(oracle);
+}
+
+TEST_P(EosTest, InsertUnalignedCopiesRightPart) {
+  std::string oracle = Pattern(3, 100000);
+  ASSERT_TRUE(mgr_->Append(id_, oracle).ok());
+  const std::string ins = Pattern(4, 5000);
+  ASSERT_TRUE(mgr_->Insert(id_, 10001, ins).ok());
+  oracle.insert(10001, ins);
+  ExpectContent(oracle);
+}
+
+TEST_P(EosTest, NewBytesGoInAsFewSegmentsAsPossible) {
+  // Paper 4.4.2: a 100K insert lands in one 25-page leaf even when the
+  // threshold is smaller.
+  std::string oracle = Pattern(5, 500000);
+  ASSERT_TRUE(mgr_->Append(id_, oracle).ok());
+  auto before = mgr_->GetStorageStats(id_);
+  ASSERT_TRUE(before.ok());
+  const std::string ins = Pattern(6, 100 * 1024);
+  ASSERT_TRUE(mgr_->Insert(id_, 200000, ins).ok());
+  oracle.insert(200000, ins);
+  ExpectContent(oracle);
+  auto after = mgr_->GetStorageStats(id_);
+  ASSERT_TRUE(after.ok());
+  // At most 3 extra segments: left split remainder, the new 25-page leaf,
+  // right split part (merging may reduce this).
+  EXPECT_LE(after->segments, before->segments + 3);
+}
+
+TEST_P(EosTest, DeleteRanges) {
+  std::string oracle = Pattern(7, 300000);
+  ASSERT_TRUE(mgr_->Append(id_, oracle).ok());
+  ASSERT_TRUE(mgr_->Delete(id_, 100000, 50000).ok());
+  oracle.erase(100000, 50000);
+  ExpectContent(oracle);
+  ASSERT_TRUE(mgr_->Delete(id_, 0, 4096).ok());  // aligned prefix
+  oracle.erase(0, 4096);
+  ExpectContent(oracle);
+  ASSERT_TRUE(mgr_->Delete(id_, oracle.size() - 5000, 5000).ok());  // suffix
+  oracle.erase(oracle.size() - 5000, 5000);
+  ExpectContent(oracle);
+}
+
+TEST_P(EosTest, DeleteEverything) {
+  ASSERT_TRUE(mgr_->Append(id_, Pattern(8, 150000)).ok());
+  ASSERT_TRUE(mgr_->Delete(id_, 0, 150000).ok());
+  ExpectContent("");
+  EXPECT_EQ(sys_->leaf_area()->allocated_pages(), 0u);
+  ASSERT_TRUE(mgr_->Append(id_, "again").ok());
+  ExpectContent("again");
+}
+
+TEST_P(EosTest, ThresholdMergesSmallNeighbors) {
+  if (GetParam() < 2) GTEST_SKIP() << "T=1 never merges";
+  // Many tiny inserts fragment the object; the threshold rule must keep
+  // adjacent small segments merged (no two adjacent < T when combined
+  // bytes fit into T pages).
+  std::string oracle = Pattern(9, 40 * 4096);
+  ASSERT_TRUE(mgr_->Append(id_, oracle).ok());
+  Rng rng(10);
+  for (int i = 0; i < 60; ++i) {
+    const uint64_t off = rng.Uniform(0, oracle.size() - 1);
+    std::string ins = Pattern(rng.Next(), 200);
+    ASSERT_TRUE(mgr_->Insert(id_, off, ins).ok()) << "insert " << i;
+    oracle.insert(off, ins);
+  }
+  ExpectContent(oracle);
+  // Check the invariant over the final structure.
+  auto stats = mgr_->GetStorageStats(id_);
+  ASSERT_TRUE(stats.ok());
+  const double avg_pages =
+      static_cast<double>(stats->leaf_pages) / stats->segments;
+  EXPECT_GE(avg_pages, 1.0);
+  // With larger T, fewer/larger segments.
+  if (GetParam() >= 16) {
+    EXPECT_GE(avg_pages, 4.0) << "large thresholds keep segments large";
+  }
+}
+
+TEST_P(EosTest, UtilizationImprovesWithThreshold) {
+  // Paper Figure 8: larger segment size threshold -> better utilization
+  // because only the last page of each segment can be partially full.
+  std::string oracle = Pattern(11, 100 * 4096);
+  ASSERT_TRUE(mgr_->Append(id_, oracle).ok());
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t off = rng.Uniform(0, oracle.size() - 1);
+    std::string ins = Pattern(rng.Next(), rng.Uniform(50, 150));
+    ASSERT_TRUE(mgr_->Insert(id_, off, ins).ok());
+    oracle.insert(off, ins);
+    const uint64_t del = rng.Uniform(0, oracle.size() - ins.size());
+    ASSERT_TRUE(mgr_->Delete(id_, del, ins.size()).ok());
+    oracle.erase(del, ins.size());
+  }
+  ExpectContent(oracle);
+  auto stats = mgr_->GetStorageStats(id_);
+  ASSERT_TRUE(stats.ok());
+  const double util = stats->Utilization(4096);
+  if (GetParam() >= 16) {
+    EXPECT_GT(util, 0.9);
+  } else {
+    EXPECT_GT(util, 0.4);
+  }
+}
+
+TEST_P(EosTest, ReplaceRange) {
+  std::string oracle = Pattern(13, 120000);
+  ASSERT_TRUE(mgr_->Append(id_, oracle).ok());
+  const std::string rep = Pattern(14, 20000);
+  ASSERT_TRUE(mgr_->Replace(id_, 30000, rep).ok());
+  oracle.replace(30000, rep.size(), rep);
+  ExpectContent(oracle);
+}
+
+TEST_P(EosTest, RejectsOutOfRange) {
+  ASSERT_TRUE(mgr_->Append(id_, Pattern(15, 1000)).ok());
+  std::string out;
+  EXPECT_EQ(mgr_->Read(id_, 500, 600, &out).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(mgr_->Insert(id_, 1001, "x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(mgr_->Delete(id_, 900, 200).code(), StatusCode::kOutOfRange);
+}
+
+TEST_P(EosTest, DestroyFreesEverything) {
+  ASSERT_TRUE(mgr_->Append(id_, Pattern(16, 400000)).ok());
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(mgr_->Insert(id_, rng.Uniform(0, 100000),
+                             Pattern(rng.Next(), 5000))
+                    .ok());
+  }
+  ASSERT_GT(sys_->leaf_area()->allocated_pages(), 0u);
+  ASSERT_TRUE(mgr_->Destroy(id_).ok());
+  EXPECT_EQ(sys_->leaf_area()->allocated_pages(), 0u);
+  EXPECT_EQ(sys_->meta_area()->allocated_pages(), 0u);
+}
+
+// Property test: random op mix against a std::string oracle.
+TEST_P(EosTest, RandomOpsMatchOracle) {
+  std::string oracle;
+  Rng rng(4242 + GetParam());
+  for (int step = 0; step < 300; ++step) {
+    const double p = rng.NextDouble();
+    if (oracle.empty() || p < 0.35) {
+      std::string data = Pattern(rng.Next(), rng.Uniform(1, 50000));
+      if (oracle.empty() || rng.Bernoulli(0.5)) {
+        ASSERT_TRUE(mgr_->Append(id_, data).ok()) << "step " << step;
+        oracle += data;
+      } else {
+        const uint64_t off = rng.Uniform(0, oracle.size());
+        ASSERT_TRUE(mgr_->Insert(id_, off, data).ok()) << "step " << step;
+        oracle.insert(off, data);
+      }
+    } else if (p < 0.6) {
+      const uint64_t off = rng.Uniform(0, oracle.size() - 1);
+      const uint64_t n =
+          rng.Uniform(1, std::min<uint64_t>(oracle.size() - off, 40000));
+      ASSERT_TRUE(mgr_->Delete(id_, off, n).ok()) << "step " << step;
+      oracle.erase(off, n);
+    } else if (p < 0.8) {
+      const uint64_t off = rng.Uniform(0, oracle.size() - 1);
+      const uint64_t n = rng.Uniform(1, oracle.size() - off);
+      std::string got;
+      ASSERT_TRUE(mgr_->Read(id_, off, n, &got).ok()) << "step " << step;
+      ASSERT_EQ(got, oracle.substr(off, n)) << "step " << step;
+    } else {
+      const uint64_t off = rng.Uniform(0, oracle.size() - 1);
+      const uint64_t n = rng.Uniform(1, oracle.size() - off);
+      std::string data = Pattern(rng.Next(), n);
+      ASSERT_TRUE(mgr_->Replace(id_, off, data).ok()) << "step " << step;
+      oracle.replace(off, n, data);
+    }
+    if (step % 50 == 0) {
+      ASSERT_TRUE(mgr_->Validate(id_).ok()) << "step " << step;
+    }
+  }
+  ExpectContent(oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, EosTest,
+                         ::testing::Values(1u, 4u, 16u, 64u),
+                         [](const auto& param_info) {
+                           return "T" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace lob

@@ -1,0 +1,199 @@
+// Focused tests of the EOS segment size threshold mechanics (paper 2.3):
+// the adjacency rule, merging, page shuffling, split-in-place behaviour
+// and the straddle-byte copies.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/storage_system.h"
+#include "eos/eos_manager.h"
+
+namespace lob {
+namespace {
+
+std::string Pattern(uint64_t seed, size_t n) {
+  std::string out(n, '\0');
+  Rng rng(seed);
+  for (auto& c : out) c = static_cast<char>('a' + rng.Uniform(0, 25));
+  return out;
+}
+
+class EosThresholdTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<EosManager> Make(uint32_t t) {
+    EosOptions opt;
+    opt.threshold_pages = t;
+    return std::make_unique<EosManager>(&sys_, opt);
+  }
+
+  StorageSystem sys_;
+};
+
+TEST_F(EosThresholdTest, PaperExampleOneAndAHalfPages) {
+  // Paper 2.3: with T=8, an object 1.5 pages long is kept in 2 pages, not
+  // 8 - the threshold does not impose fixed or minimum segment sizes.
+  auto mgr = Make(8);
+  auto id = mgr->Create();
+  ASSERT_TRUE(id.ok());
+  // Build it via two appends so two segments would naively exist, then an
+  // insert triggers threshold enforcement.
+  ASSERT_TRUE(mgr->Append(*id, Pattern(1, 4096)).ok());
+  ASSERT_TRUE(mgr->Append(*id, Pattern(2, 2048)).ok());
+  ASSERT_TRUE(mgr->Insert(*id, 3000, "xy").ok());
+  auto stats = mgr->GetStorageStats(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->segments, 1u) << "merged into one segment";
+  EXPECT_EQ(stats->leaf_pages, 2u) << "kept in 2 pages, not 8";
+}
+
+TEST_F(EosThresholdTest, NoViolationsAfterUpdates) {
+  // After any update burst, no adjacent pair may have a side below T
+  // pages' worth while the pair could be reorganized to reach it.
+  for (uint32_t t : {2u, 4u, 8u}) {
+    StorageSystem sys;
+    EosOptions opt;
+    opt.threshold_pages = t;
+    EosManager mgr(&sys, opt);
+    auto id = mgr.Create();
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(mgr.Append(*id, Pattern(3, 60 * 4096)).ok());
+    Rng rng(4);
+    std::string oracle = Pattern(3, 60 * 4096);
+    for (int i = 0; i < 80; ++i) {
+      const uint64_t off = rng.Uniform(0, oracle.size() - 1);
+      std::string ins = Pattern(rng.Next(), rng.Uniform(10, 3000));
+      ASSERT_TRUE(mgr.Insert(*id, off, ins).ok());
+      oracle.insert(off, ins);
+    }
+    // Inspect adjacent pairs through the public stats: every segment must
+    // hold at least T pages' worth of bytes OR be un-mergeable with its
+    // neighbors. We verify the stronger aggregate property the paper
+    // relies on: average segment size is at least ~T pages.
+    auto stats = mgr.GetStorageStats(*id);
+    ASSERT_TRUE(stats.ok());
+    const double avg_pages =
+        static_cast<double>(stats->leaf_pages) / stats->segments;
+    EXPECT_GE(avg_pages, static_cast<double>(t) * 0.8)
+        << "T=" << t << ": segments should average about T pages";
+  }
+}
+
+TEST_F(EosThresholdTest, AlignedInsertMovesNoData) {
+  // An insert at a page boundary splits a segment purely by repointing:
+  // no leaf bytes are read or written except the new bytes themselves.
+  auto mgr = Make(1);
+  auto id = mgr->Create();
+  ASSERT_TRUE(id.ok());
+  const std::string base = Pattern(5, 64 * 4096);
+  ASSERT_TRUE(mgr->Append(*id, base).ok());
+  sys_.ResetStats();
+  const std::string ins = Pattern(6, 10 * 4096);
+  ASSERT_TRUE(mgr->Insert(*id, 32 * 4096, ins).ok());
+  const IoStats stats = sys_.stats();
+  // Only the 10 fresh data pages plus a handful of 1-page index/shadow
+  // writes; crucially, none of the 64 existing data pages move.
+  EXPECT_LE(stats.pages_written, 14u) << stats.ToString();
+  EXPECT_GE(stats.pages_written, 10u) << stats.ToString();
+  std::string out;
+  ASSERT_TRUE(mgr->Read(*id, 0, base.size() + ins.size(), &out).ok());
+  std::string expect = base;
+  expect.insert(32 * 4096, ins);
+  EXPECT_EQ(out, expect);
+}
+
+TEST_F(EosThresholdTest, UnalignedInsertCopiesOnlyStraddlingPage) {
+  // Paper 4.4.2: EOS inserts 10K of new data into a 3-page (12K) leaf.
+  // The straddling bytes of the split page ride along; the right part's
+  // whole pages stay put.
+  auto mgr = Make(1);
+  auto id = mgr->Create();
+  ASSERT_TRUE(id.ok());
+  const std::string base = Pattern(7, 256 * 4096);  // one 1MB segment
+  ASSERT_TRUE(mgr->Append(*id, base).ok());
+  sys_.ResetStats();
+  const std::string ins = Pattern(8, 10000);
+  ASSERT_TRUE(mgr->Insert(*id, 100 * 4096 + 1234, ins).ok());
+  const IoStats stats = sys_.stats();
+  // Data moved: ~10000 bytes of new data + <4096 straddling bytes => at
+  // most 4 data pages written. Far below the ~156 pages a whole
+  // right-part copy would need.
+  EXPECT_LE(stats.pages_written, 8u) << stats.ToString();
+  std::string out;
+  ASSERT_TRUE(mgr->Read(*id, 0, base.size() + ins.size(), &out).ok());
+  std::string expect = base;
+  expect.insert(100 * 4096 + 1234, ins);
+  EXPECT_EQ(out, expect);
+}
+
+TEST_F(EosThresholdTest, LargeThresholdShufflesPages) {
+  // With T=16 a small leftover piece must be topped up to ~16 pages by
+  // shuffling from its neighbor; verify the structure converges to
+  // threshold-sized segments under a burst of small inserts.
+  auto mgr = Make(16);
+  auto id = mgr->Create();
+  ASSERT_TRUE(id.ok());
+  std::string oracle = Pattern(9, 200 * 4096);
+  ASSERT_TRUE(mgr->Append(*id, oracle).ok());
+  Rng rng(10);
+  for (int i = 0; i < 120; ++i) {
+    const uint64_t off = rng.Uniform(0, oracle.size() - 1);
+    std::string ins = Pattern(rng.Next(), 100);
+    ASSERT_TRUE(mgr->Insert(*id, off, ins).ok()) << "insert " << i;
+    oracle.insert(off, ins);
+  }
+  std::string out;
+  ASSERT_TRUE(mgr->Read(*id, 0, oracle.size(), &out).ok());
+  ASSERT_EQ(out, oracle);
+  auto stats = mgr->GetStorageStats(*id);
+  ASSERT_TRUE(stats.ok());
+  const double avg_pages =
+      static_cast<double>(stats->leaf_pages) / stats->segments;
+  EXPECT_GE(avg_pages, 14.0);
+  EXPECT_GT(stats->Utilization(4096), 0.95);
+}
+
+TEST_F(EosThresholdTest, ThresholdOneNeverTouchesBigNeighbors) {
+  // T=1 must not reorganize large segments: a tiny insert into a big
+  // object costs a bounded number of pages regardless of segment sizes.
+  auto mgr = Make(1);
+  auto id = mgr->Create();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(mgr->Append(*id, Pattern(11, 4 * 1024 * 1024)).ok());
+  sys_.ResetStats();
+  ASSERT_TRUE(mgr->Insert(*id, 1234567, "tiny").ok());
+  EXPECT_LE(sys_.stats().PagesTransferred(), 16u)
+      << sys_.stats().ToString();
+}
+
+TEST_F(EosThresholdTest, UpdateCostGrowsWithThreshold) {
+  // Paper 4.4.3 / Figure 12: above T=4 the insert cost rises because of
+  // page reshuffling.
+  double cost[3] = {0, 0, 0};
+  const uint32_t ts[3] = {1, 4, 64};
+  for (int k = 0; k < 3; ++k) {
+    StorageSystem sys;
+    EosOptions opt;
+    opt.threshold_pages = ts[k];
+    EosManager mgr(&sys, opt);
+    auto id = mgr.Create();
+    LOB_CHECK_OK(id.status());
+    std::string oracle = Pattern(12, 2 * 1024 * 1024);
+    LOB_CHECK_OK(mgr.Append(*id, oracle));
+    Rng rng(13);
+    IoStats before = sys.stats();
+    for (int i = 0; i < 100; ++i) {
+      const uint64_t off = rng.Uniform(0, oracle.size() - 1);
+      LOB_CHECK_OK(mgr.Insert(*id, off, Pattern(rng.Next(), 200)));
+      LOB_CHECK_OK(mgr.Delete(*id, off, 200));
+    }
+    cost[k] = (sys.stats() - before).ms / 200;
+  }
+  EXPECT_LT(cost[0], cost[2]) << "T=64 must cost more than T=1";
+  EXPECT_LT(cost[1], cost[2]) << "T=64 must cost more than T=4";
+}
+
+}  // namespace
+}  // namespace lob

@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "core/storage_system.h"
+#include "esm/esm_manager.h"
+
+namespace lob {
+namespace {
+
+std::string Pattern(uint64_t seed, size_t n) {
+  std::string out(n, '\0');
+  Rng rng(seed);
+  for (auto& c : out) c = static_cast<char>('a' + rng.Uniform(0, 25));
+  return out;
+}
+
+class EsmTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  EsmTest() {
+    cfg_.buddy_space_order = 12;
+    sys_ = std::make_unique<StorageSystem>(cfg_);
+    EsmOptions opt;
+    opt.leaf_pages = GetParam();
+    opt.limits.root_capacity = 16;  // small fan-out: deep trees in tests
+    opt.limits.internal_capacity = 16;
+    mgr_ = std::make_unique<EsmManager>(sys_.get(), opt);
+    auto id = mgr_->Create();
+    LOB_CHECK_OK(id.status());
+    id_ = *id;
+  }
+
+  void ExpectContent(const std::string& oracle) {
+    auto size = mgr_->Size(id_);
+    ASSERT_TRUE(size.ok());
+    ASSERT_EQ(*size, oracle.size());
+    std::string got;
+    ASSERT_TRUE(mgr_->Read(id_, 0, oracle.size(), &got).ok());
+    ASSERT_EQ(got, oracle);
+    ASSERT_TRUE(mgr_->Validate(id_).ok());
+  }
+
+  StorageConfig cfg_;
+  std::unique_ptr<StorageSystem> sys_;
+  std::unique_ptr<EsmManager> mgr_;
+  ObjectId id_ = 0;
+};
+
+TEST_P(EsmTest, EmptyObject) {
+  auto size = mgr_->Size(id_);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 0u);
+  std::string out;
+  EXPECT_TRUE(mgr_->Read(id_, 0, 0, &out).ok());
+  EXPECT_FALSE(mgr_->Read(id_, 0, 1, &out).ok());
+}
+
+TEST_P(EsmTest, AppendAndReadBack) {
+  std::string oracle;
+  for (int i = 0; i < 20; ++i) {
+    std::string chunk = Pattern(static_cast<uint64_t>(i), 3000);
+    ASSERT_TRUE(mgr_->Append(id_, chunk).ok());
+    oracle += chunk;
+  }
+  ExpectContent(oracle);
+}
+
+TEST_P(EsmTest, AppendLargerThanLeaf) {
+  const std::string chunk = Pattern(1, 5 * GetParam() * 4096 + 123);
+  ASSERT_TRUE(mgr_->Append(id_, chunk).ok());
+  ExpectContent(chunk);
+}
+
+TEST_P(EsmTest, RandomRangeReads) {
+  std::string oracle = Pattern(2, 200000);
+  ASSERT_TRUE(mgr_->Append(id_, oracle).ok());
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t off = rng.Uniform(0, oracle.size() - 1);
+    const uint64_t n = rng.Uniform(1, oracle.size() - off);
+    std::string got;
+    ASSERT_TRUE(mgr_->Read(id_, off, n, &got).ok());
+    ASSERT_EQ(got, oracle.substr(off, n));
+  }
+}
+
+TEST_P(EsmTest, InsertMiddle) {
+  std::string oracle = Pattern(4, 50000);
+  ASSERT_TRUE(mgr_->Append(id_, oracle).ok());
+  const std::string ins = Pattern(5, 7777);
+  ASSERT_TRUE(mgr_->Insert(id_, 25000, ins).ok());
+  oracle.insert(25000, ins);
+  ExpectContent(oracle);
+}
+
+TEST_P(EsmTest, InsertFront) {
+  std::string oracle = Pattern(6, 20000);
+  ASSERT_TRUE(mgr_->Append(id_, oracle).ok());
+  const std::string ins = Pattern(7, 100);
+  ASSERT_TRUE(mgr_->Insert(id_, 0, ins).ok());
+  oracle.insert(0, ins);
+  ExpectContent(oracle);
+}
+
+TEST_P(EsmTest, InsertAtEndIsAppend) {
+  std::string oracle = Pattern(8, 10000);
+  ASSERT_TRUE(mgr_->Append(id_, oracle).ok());
+  const std::string ins = Pattern(9, 500);
+  ASSERT_TRUE(mgr_->Insert(id_, oracle.size(), ins).ok());
+  oracle += ins;
+  ExpectContent(oracle);
+}
+
+TEST_P(EsmTest, DeleteMiddleRange) {
+  std::string oracle = Pattern(10, 80000);
+  ASSERT_TRUE(mgr_->Append(id_, oracle).ok());
+  ASSERT_TRUE(mgr_->Delete(id_, 10000, 30000).ok());
+  oracle.erase(10000, 30000);
+  ExpectContent(oracle);
+}
+
+TEST_P(EsmTest, DeleteEverything) {
+  std::string oracle = Pattern(11, 60000);
+  ASSERT_TRUE(mgr_->Append(id_, oracle).ok());
+  ASSERT_TRUE(mgr_->Delete(id_, 0, oracle.size()).ok());
+  ExpectContent("");
+  // And the object is reusable afterwards.
+  ASSERT_TRUE(mgr_->Append(id_, "hello").ok());
+  ExpectContent("hello");
+}
+
+TEST_P(EsmTest, ReplaceRange) {
+  std::string oracle = Pattern(12, 50000);
+  ASSERT_TRUE(mgr_->Append(id_, oracle).ok());
+  const std::string rep = Pattern(13, 9000);
+  ASSERT_TRUE(mgr_->Replace(id_, 12345, rep).ok());
+  oracle.replace(12345, rep.size(), rep);
+  ExpectContent(oracle);
+}
+
+TEST_P(EsmTest, RejectsOutOfRange) {
+  ASSERT_TRUE(mgr_->Append(id_, Pattern(14, 1000)).ok());
+  std::string out;
+  EXPECT_EQ(mgr_->Read(id_, 500, 600, &out).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(mgr_->Insert(id_, 1001, "x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(mgr_->Delete(id_, 900, 200).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(mgr_->Replace(id_, 999, "xx").code(), StatusCode::kOutOfRange);
+}
+
+TEST_P(EsmTest, DestroyFreesEverything) {
+  ASSERT_TRUE(mgr_->Append(id_, Pattern(15, 300000)).ok());
+  ASSERT_GT(sys_->leaf_area()->allocated_pages(), 0u);
+  ASSERT_TRUE(mgr_->Destroy(id_).ok());
+  EXPECT_EQ(sys_->leaf_area()->allocated_pages(), 0u);
+  EXPECT_EQ(sys_->meta_area()->allocated_pages(), 0u);
+}
+
+TEST_P(EsmTest, StorageStatsReflectFixedLeaves) {
+  // 10 leaves' worth of data: all leaves full except the last two.
+  const std::string data = Pattern(16, 10 * GetParam() * 4096 + 500);
+  ASSERT_TRUE(mgr_->Append(id_, data).ok());
+  auto stats = mgr_->GetStorageStats(id_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->object_bytes, data.size());
+  EXPECT_EQ(stats->leaf_pages, uint64_t{stats->segments} * GetParam());
+  EXPECT_GE(stats->index_pages, 1u);
+  // Fresh append-built object: high utilization.
+  EXPECT_GT(stats->Utilization(4096), 0.7);
+}
+
+TEST_P(EsmTest, ExactFitAppendLeavesPriorLeavesAlone) {
+  // Appends of exactly the leaf capacity: each append writes one new full
+  // leaf; previously written leaves are never rewritten (paper 4.2: best
+  // build performance when append size matches the leaf size).
+  const uint64_t cap = uint64_t{GetParam()} * 4096;
+  ASSERT_TRUE(mgr_->Append(id_, Pattern(17, cap)).ok());
+  sys_->ResetStats();
+  ASSERT_TRUE(mgr_->Append(id_, Pattern(18, cap)).ok());
+  // No leaf reads required: nothing is redistributed.
+  auto stats = sys_->stats();
+  EXPECT_EQ(stats.pages_read, 0u) << "exact-fit append must not read leaves";
+  // Exactly one data-leaf write call (plus index page writes).
+  EXPECT_GE(stats.write_calls, 1u);
+  ExpectContent(Pattern(17, cap) + Pattern(18, cap));
+}
+
+TEST_P(EsmTest, MismatchedAppendRedistributes) {
+  // Appends of 3/4 capacity force redistribution involving the rightmost
+  // leaf and its left neighbor.
+  const uint64_t chunk = uint64_t{GetParam()} * 4096 * 3 / 4;
+  std::string oracle;
+  for (int i = 0; i < 8; ++i) {
+    std::string c = Pattern(static_cast<uint64_t>(20 + i), chunk);
+    ASSERT_TRUE(mgr_->Append(id_, c).ok());
+    oracle += c;
+  }
+  ExpectContent(oracle);
+  // All leaves except the last two must be full.
+  auto stats = mgr_->GetStorageStats(id_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->segments, 3u);
+}
+
+// Property test: random op mix against a std::string oracle.
+TEST_P(EsmTest, RandomOpsMatchOracle) {
+  std::string oracle;
+  Rng rng(31337 + GetParam());
+  for (int step = 0; step < 300; ++step) {
+    const double p = rng.NextDouble();
+    if (oracle.empty() || p < 0.35) {
+      std::string data =
+          Pattern(rng.Next(), rng.Uniform(1, 3 * GetParam() * 4096));
+      if (oracle.empty() || rng.Bernoulli(0.5)) {
+        ASSERT_TRUE(mgr_->Append(id_, data).ok()) << "step " << step;
+        oracle += data;
+      } else {
+        const uint64_t off = rng.Uniform(0, oracle.size());
+        ASSERT_TRUE(mgr_->Insert(id_, off, data).ok()) << "step " << step;
+        oracle.insert(off, data);
+      }
+    } else if (p < 0.6) {
+      const uint64_t off = rng.Uniform(0, oracle.size() - 1);
+      const uint64_t n =
+          rng.Uniform(1, std::min<uint64_t>(oracle.size() - off,
+                                            2 * GetParam() * 4096));
+      ASSERT_TRUE(mgr_->Delete(id_, off, n).ok()) << "step " << step;
+      oracle.erase(off, n);
+    } else if (p < 0.8) {
+      const uint64_t off = rng.Uniform(0, oracle.size() - 1);
+      const uint64_t n = rng.Uniform(1, oracle.size() - off);
+      std::string got;
+      ASSERT_TRUE(mgr_->Read(id_, off, n, &got).ok()) << "step " << step;
+      ASSERT_EQ(got, oracle.substr(off, n)) << "step " << step;
+    } else {
+      const uint64_t off = rng.Uniform(0, oracle.size() - 1);
+      const uint64_t n = rng.Uniform(1, oracle.size() - off);
+      std::string data = Pattern(rng.Next(), n);
+      ASSERT_TRUE(mgr_->Replace(id_, off, data).ok()) << "step " << step;
+      oracle.replace(off, n, data);
+    }
+    if (step % 50 == 0) {
+      ASSERT_TRUE(mgr_->Validate(id_).ok()) << "step " << step;
+    }
+  }
+  ExpectContent(oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafSizes, EsmTest,
+                         ::testing::Values(1u, 4u, 16u, 64u),
+                         [](const auto& param_info) {
+                           return "Leaf" + std::to_string(param_info.param);
+                         });
+
+// The basic insert algorithm must be byte-correct too (the paper's data
+// uses improved; basic exists for the [Care86] comparison).
+TEST(EsmInsertAlgorithms, BasicInsertMatchesOracle) {
+  StorageConfig cfg;
+  cfg.buddy_space_order = 12;
+  StorageSystem sys(cfg);
+  EsmOptions opt;
+  opt.leaf_pages = 2;
+  opt.improved_insert = false;
+  EsmManager mgr(&sys, opt);
+  auto id = mgr.Create();
+  ASSERT_TRUE(id.ok());
+  std::string oracle;
+  Rng rng(555);
+  for (int step = 0; step < 200; ++step) {
+    if (oracle.empty() || rng.Bernoulli(0.55)) {
+      std::string data = Pattern(rng.Next(), rng.Uniform(1, 20000));
+      const uint64_t off = oracle.empty() ? 0 : rng.Uniform(0, oracle.size());
+      ASSERT_TRUE(mgr.Insert(*id, off, data).ok()) << "step " << step;
+      oracle.insert(off, data);
+    } else {
+      const uint64_t n =
+          rng.Uniform(1, std::min<uint64_t>(oracle.size(), 15000));
+      const uint64_t off = rng.Uniform(0, oracle.size() - n);
+      ASSERT_TRUE(mgr.Delete(*id, off, n).ok()) << "step " << step;
+      oracle.erase(off, n);
+    }
+  }
+  std::string got;
+  ASSERT_TRUE(mgr.Read(*id, 0, oracle.size(), &got).ok());
+  EXPECT_EQ(got, oracle);
+  EXPECT_TRUE(mgr.Validate(*id).ok());
+}
+
+// Basic vs improved insert: the improved algorithm avoids creating leaves.
+TEST(EsmInsertAlgorithms, ImprovedCreatesFewerLeaves) {
+  StorageConfig cfg;
+  cfg.buddy_space_order = 12;
+  auto run = [&](bool improved) -> uint32_t {
+    StorageSystem sys(cfg);
+    EsmOptions opt;
+    opt.leaf_pages = 1;
+    opt.improved_insert = improved;
+    EsmManager mgr(&sys, opt);
+    auto id = mgr.Create();
+    LOB_CHECK_OK(id.status());
+    LOB_CHECK_OK(mgr.Append(*id, Pattern(40, 400 * 1024)));
+    Rng rng(41);
+    for (int i = 0; i < 300; ++i) {
+      auto size = mgr.Size(*id);
+      LOB_CHECK_OK(size.status());
+      const uint64_t off = rng.Uniform(0, *size - 1);
+      LOB_CHECK_OK(mgr.Insert(*id, off, Pattern(rng.Next(), 300)));
+    }
+    auto stats = mgr.GetStorageStats(*id);
+    LOB_CHECK_OK(stats.status());
+    return stats->segments;
+  };
+  const uint32_t improved = run(true);
+  const uint32_t basic = run(false);
+  EXPECT_LT(improved, basic)
+      << "improved insert should allocate fewer leaves";
+}
+
+// Shadowing ablation: with shadowing an in-leaf insert writes a fresh leaf
+// segment elsewhere; without it the update happens in place.
+TEST(EsmShadowing, InPlaceVersusShadow) {
+  for (bool shadowing : {true, false}) {
+    StorageConfig cfg;
+    cfg.buddy_space_order = 12;
+    cfg.shadowing = shadowing;
+    StorageSystem sys(cfg);
+    EsmOptions opt;
+    opt.leaf_pages = 4;
+    EsmManager mgr(&sys, opt);
+    auto id = mgr.Create();
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(mgr.Append(*id, Pattern(50, 8000)).ok());
+    auto before = mgr.GetStorageStats(*id);
+    ASSERT_TRUE(before.ok());
+    // A 100-byte insert that fits in the first leaf.
+    ASSERT_TRUE(mgr.Insert(*id, 10, Pattern(51, 100)).ok());
+    std::string got;
+    ASSERT_TRUE(mgr.Read(*id, 0, 8100, &got).ok());
+    std::string expect = Pattern(50, 8000);
+    expect.insert(10, Pattern(51, 100).data(), 100);
+    EXPECT_EQ(got, expect);
+  }
+}
+
+}  // namespace
+}  // namespace lob

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# End-to-end test of the lobtool CLI: exercises every subcommand against a
+# scratch database image and verifies the bytes that come back.
+set -euo pipefail
+LOBTOOL="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+DB="$DIR/t.lobdb"
+
+fail() { echo "lobtool_test: FAIL: $1"; exit 1; }
+
+"$LOBTOOL" "$DB" init >/dev/null || fail "init"
+"$LOBTOOL" "$DB" create doc eos 8 >/dev/null || fail "create eos"
+"$LOBTOOL" "$DB" create pic starburst >/dev/null || fail "create starburst"
+"$LOBTOOL" "$DB" create idx esm 4 >/dev/null || fail "create esm"
+
+printf 'hello large objects' > "$DIR/a.txt"
+head -c 100000 /dev/urandom > "$DIR/b.bin"
+
+"$LOBTOOL" "$DB" put doc "$DIR/a.txt" >/dev/null || fail "put"
+"$LOBTOOL" "$DB" put pic "$DIR/b.bin" >/dev/null || fail "put binary"
+
+[ "$("$LOBTOOL" "$DB" cat doc)" = "hello large objects" ] || fail "cat"
+"$LOBTOOL" "$DB" cat pic > "$DIR/b.out" || fail "cat binary"
+cmp -s "$DIR/b.bin" "$DIR/b.out" || fail "binary roundtrip"
+
+printf 'BIG ' > "$DIR/ins.txt"
+"$LOBTOOL" "$DB" insert doc 6 "$DIR/ins.txt" >/dev/null || fail "insert"
+[ "$("$LOBTOOL" "$DB" cat doc)" = "hello BIG large objects" ] || fail "insert content"
+
+"$LOBTOOL" "$DB" delete doc 6 4 >/dev/null || fail "delete"
+[ "$("$LOBTOOL" "$DB" cat doc)" = "hello large objects" ] || fail "delete content"
+
+[ "$("$LOBTOOL" "$DB" cat doc 6 5)" = "large" ] || fail "cat range"
+
+"$LOBTOOL" "$DB" ls | grep -q '^doc .*EOS' || fail "ls doc"
+"$LOBTOOL" "$DB" ls | grep -q '^pic .*Starburst' || fail "ls pic"
+"$LOBTOOL" "$DB" stat pic | grep -q 'engine: *Starburst' || fail "stat"
+"$LOBTOOL" "$DB" info | grep -q 'objects: *3' || fail "info"
+
+"$LOBTOOL" "$DB" rm idx >/dev/null || fail "rm"
+"$LOBTOOL" "$DB" info | grep -q 'objects: *2' || fail "info after rm"
+
+# error paths: unknown object, unknown command, missing db
+"$LOBTOOL" "$DB" cat nosuch >/dev/null 2>&1 && fail "cat nosuch should fail"
+"$LOBTOOL" "$DB" frobnicate >/dev/null 2>&1 && fail "unknown cmd should fail"
+"$LOBTOOL" "$DIR/absent.lobdb" ls >/dev/null 2>&1 && fail "missing db should fail"
+
+echo "lobtool_test: PASS"

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/factory.h"
+#include "core/long_list.h"
+#include "core/storage_system.h"
+
+namespace lob {
+namespace {
+
+struct Sample {
+  uint64_t key;
+  uint64_t value;
+  bool operator==(const Sample&) const = default;
+};
+
+class LongListTest : public ::testing::TestWithParam<int> {
+ protected:
+  LongListTest() : sys_() {
+    switch (GetParam()) {
+      case 0:
+        mgr_ = CreateEsmManager(&sys_, 4);
+        break;
+      case 1:
+        mgr_ = CreateStarburstManager(&sys_);
+        break;
+      default:
+        mgr_ = CreateEosManager(&sys_, 4);
+        break;
+    }
+    list_ = std::make_unique<LongList>(mgr_.get(), sizeof(Sample));
+    auto id = list_->Create();
+    LOB_CHECK_OK(id.status());
+    id_ = *id;
+  }
+
+  StorageSystem sys_;
+  std::unique_ptr<LargeObjectManager> mgr_;
+  std::unique_ptr<LongList> list_;
+  ObjectId id_ = 0;
+};
+
+TEST_P(LongListTest, EmptyList) {
+  auto size = list_->Size(id_);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 0u);
+  Sample out;
+  EXPECT_FALSE(list_->Get(id_, 0, &out).ok());
+}
+
+TEST_P(LongListTest, PushBackAndGet) {
+  for (uint64_t i = 0; i < 100; ++i) {
+    Sample s{i, i * i};
+    ASSERT_TRUE(list_->PushBack(id_, &s).ok());
+  }
+  auto size = list_->Size(id_);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 100u);
+  Sample out;
+  ASSERT_TRUE(list_->Get(id_, 42, &out).ok());
+  EXPECT_EQ(out, (Sample{42, 42 * 42}));
+}
+
+TEST_P(LongListTest, AppendManyAndGetRange) {
+  std::vector<Sample> batch(5000);
+  for (uint64_t i = 0; i < batch.size(); ++i) batch[i] = {i, 2 * i};
+  ASSERT_TRUE(list_->AppendMany(id_, batch.data(), batch.size()).ok());
+  std::vector<Sample> out(100);
+  ASSERT_TRUE(list_->GetRange(id_, 2000, 100, out.data()).ok());
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[i], (Sample{2000 + i, 2 * (2000 + i)}));
+  }
+}
+
+TEST_P(LongListTest, InsertShiftsElements) {
+  for (uint64_t i = 0; i < 10; ++i) {
+    Sample s{i, i};
+    ASSERT_TRUE(list_->PushBack(id_, &s).ok());
+  }
+  Sample mid{999, 999};
+  ASSERT_TRUE(list_->Insert(id_, 5, &mid).ok());
+  Sample out;
+  ASSERT_TRUE(list_->Get(id_, 5, &out).ok());
+  EXPECT_EQ(out.key, 999u);
+  ASSERT_TRUE(list_->Get(id_, 6, &out).ok());
+  EXPECT_EQ(out.key, 5u);
+  auto size = list_->Size(id_);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 11u);
+}
+
+TEST_P(LongListTest, RemoveShiftsElements) {
+  for (uint64_t i = 0; i < 10; ++i) {
+    Sample s{i, i};
+    ASSERT_TRUE(list_->PushBack(id_, &s).ok());
+  }
+  ASSERT_TRUE(list_->Remove(id_, 3).ok());
+  Sample out;
+  ASSERT_TRUE(list_->Get(id_, 3, &out).ok());
+  EXPECT_EQ(out.key, 4u);
+  auto size = list_->Size(id_);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 9u);
+}
+
+TEST_P(LongListTest, SetOverwritesInPlace) {
+  for (uint64_t i = 0; i < 10; ++i) {
+    Sample s{i, i};
+    ASSERT_TRUE(list_->PushBack(id_, &s).ok());
+  }
+  Sample repl{7, 70};
+  ASSERT_TRUE(list_->Set(id_, 7, &repl).ok());
+  Sample out;
+  ASSERT_TRUE(list_->Get(id_, 7, &out).ok());
+  EXPECT_EQ(out.value, 70u);
+  auto size = list_->Size(id_);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 10u);
+}
+
+TEST_P(LongListTest, OutOfRangeRejected) {
+  Sample s{1, 1};
+  ASSERT_TRUE(list_->PushBack(id_, &s).ok());
+  EXPECT_FALSE(list_->Insert(id_, 2, &s).ok());
+  EXPECT_FALSE(list_->Remove(id_, 1).ok());
+  EXPECT_FALSE(list_->Set(id_, 1, &s).ok());
+  Sample out;
+  EXPECT_FALSE(list_->Get(id_, 1, &out).ok());
+}
+
+TEST_P(LongListTest, DestroyFreesStorage) {
+  std::vector<Sample> batch(10000);
+  for (uint64_t i = 0; i < batch.size(); ++i) batch[i] = {i, i};
+  ASSERT_TRUE(list_->AppendMany(id_, batch.data(), batch.size()).ok());
+  ASSERT_GT(sys_.leaf_area()->allocated_pages(), 0u);
+  ASSERT_TRUE(list_->Destroy(id_).ok());
+  EXPECT_EQ(sys_.leaf_area()->allocated_pages(), 0u);
+}
+
+// Property test against std::deque.
+TEST_P(LongListTest, RandomOpsMatchDeque) {
+  std::deque<Sample> model;
+  Rng rng(123 + static_cast<uint64_t>(GetParam()));
+  const int ops = GetParam() == 1 ? 120 : 400;  // Starburst updates cost
+  for (int step = 0; step < ops; ++step) {
+    const double p = rng.NextDouble();
+    if (model.empty() || p < 0.4) {
+      Sample s{rng.Next(), rng.Next()};
+      const uint64_t at = rng.Uniform(0, model.size());
+      ASSERT_TRUE(list_->Insert(id_, at, &s).ok()) << "step " << step;
+      model.insert(model.begin() + static_cast<long>(at), s);
+    } else if (p < 0.6) {
+      const uint64_t at = rng.Uniform(0, model.size() - 1);
+      ASSERT_TRUE(list_->Remove(id_, at).ok()) << "step " << step;
+      model.erase(model.begin() + static_cast<long>(at));
+    } else if (p < 0.8) {
+      const uint64_t at = rng.Uniform(0, model.size() - 1);
+      Sample s{rng.Next(), rng.Next()};
+      ASSERT_TRUE(list_->Set(id_, at, &s).ok()) << "step " << step;
+      model[at] = s;
+    } else {
+      const uint64_t at = rng.Uniform(0, model.size() - 1);
+      Sample out;
+      ASSERT_TRUE(list_->Get(id_, at, &out).ok()) << "step " << step;
+      ASSERT_EQ(out, model[at]) << "step " << step;
+    }
+  }
+  auto size = list_->Size(id_);
+  ASSERT_TRUE(size.ok());
+  ASSERT_EQ(*size, model.size());
+  for (size_t i = 0; i < model.size(); i += 7) {
+    Sample out;
+    ASSERT_TRUE(list_->Get(id_, i, &out).ok());
+    ASSERT_EQ(out, model[i]) << "index " << i;
+  }
+}
+
+std::string EngineParamName(
+    const ::testing::TestParamInfo<int>& param_info) {
+  return param_info.param == 0   ? "Esm"
+         : param_info.param == 1 ? "Starburst"
+                                 : "Eos";
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, LongListTest, ::testing::Values(0, 1, 2),
+                         EngineParamName);
+
+}  // namespace
+}  // namespace lob

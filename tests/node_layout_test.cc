@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lobtree/node_layout.h"
+
+namespace lob {
+namespace {
+
+class NodeViewTest : public ::testing::Test {
+ protected:
+  NodeViewTest() : buf_(4096, '\0') {}
+  std::vector<char> buf_;
+};
+
+TEST_F(NodeViewTest, RootInitAndHeader) {
+  NodeView v(buf_.data(), 4096, /*is_root=*/true);
+  v.Init(1, /*engine=*/3);
+  EXPECT_TRUE(v.IsValid());
+  EXPECT_TRUE(v.is_root());
+  EXPECT_EQ(v.height(), 1);
+  EXPECT_EQ(v.npairs(), 0);
+  EXPECT_EQ(v.engine(), 3);
+  EXPECT_EQ(v.aux(), 0u);
+  v.set_aux(777);
+  EXPECT_EQ(v.aux(), 777u);
+  v.set_height(5);
+  EXPECT_EQ(v.height(), 5);
+}
+
+TEST_F(NodeViewTest, InternalInitAndHeader) {
+  NodeView v(buf_.data(), 4096, /*is_root=*/false);
+  v.Init(2);
+  EXPECT_TRUE(v.IsValid());
+  EXPECT_FALSE(v.is_root());
+  EXPECT_EQ(v.height(), 2);
+  EXPECT_EQ(v.npairs(), 0);
+}
+
+TEST_F(NodeViewTest, MagicMismatchDetected) {
+  NodeView root(buf_.data(), 4096, true);
+  root.Init(1);
+  NodeView as_internal(buf_.data(), 4096, false);
+  EXPECT_FALSE(as_internal.IsValid());
+}
+
+TEST_F(NodeViewTest, PaperCapacities) {
+  // Paper 4.1: "we may store up to 507 pairs in the root and 511 pairs in
+  // internal index pages" with 4K pages and 4-byte counts/pointers.
+  NodeView root(buf_.data(), 4096, true);
+  EXPECT_EQ(root.PhysicalCapacity(), 507u);
+  NodeView internal(buf_.data(), 4096, false);
+  EXPECT_EQ(internal.PhysicalCapacity(), 511u);
+}
+
+TEST_F(NodeViewTest, InsertPairMaintainsCumulativeCounts) {
+  NodeView v(buf_.data(), 4096, false);
+  v.Init(1);
+  v.InsertPair(0, 100, 11);
+  v.InsertPair(1, 200, 22);
+  v.InsertPair(2, 300, 33);
+  EXPECT_EQ(v.npairs(), 3);
+  EXPECT_EQ(v.Count(0), 100u);
+  EXPECT_EQ(v.Count(1), 300u);
+  EXPECT_EQ(v.Count(2), 600u);
+  EXPECT_EQ(v.SubtreeBytes(1), 200u);
+  EXPECT_EQ(v.TotalBytes(), 600u);
+  // Insert in the middle shifts following cumulative counts.
+  v.InsertPair(1, 50, 44);
+  EXPECT_EQ(v.npairs(), 4);
+  EXPECT_EQ(v.Count(0), 100u);
+  EXPECT_EQ(v.Count(1), 150u);
+  EXPECT_EQ(v.Count(2), 350u);
+  EXPECT_EQ(v.Count(3), 650u);
+  EXPECT_EQ(v.Page(1), 44u);
+}
+
+TEST_F(NodeViewTest, RemovePairShiftsCounts) {
+  NodeView v(buf_.data(), 4096, false);
+  v.Init(1);
+  v.InsertPair(0, 100, 11);
+  v.InsertPair(1, 200, 22);
+  v.InsertPair(2, 300, 33);
+  v.RemovePair(1);
+  EXPECT_EQ(v.npairs(), 2);
+  EXPECT_EQ(v.Count(0), 100u);
+  EXPECT_EQ(v.Count(1), 400u);
+  EXPECT_EQ(v.Page(1), 33u);
+}
+
+TEST_F(NodeViewTest, AddBytesPropagates) {
+  NodeView v(buf_.data(), 4096, false);
+  v.Init(1);
+  v.InsertPair(0, 100, 11);
+  v.InsertPair(1, 200, 22);
+  v.AddBytes(0, +42);
+  EXPECT_EQ(v.Count(0), 142u);
+  EXPECT_EQ(v.Count(1), 342u);
+  EXPECT_EQ(v.SubtreeBytes(1), 200u) << "only child 0 grew";
+  v.AddBytes(1, -50);
+  EXPECT_EQ(v.Count(1), 292u);
+}
+
+TEST_F(NodeViewTest, FindChildPicksContainingChild) {
+  // Paper Figure 1 example: root pairs (900, p1), (1830, p2): offsets 0-899
+  // live below the first child, 900-1829 below the second.
+  NodeView v(buf_.data(), 4096, true);
+  v.Init(2);
+  v.InsertPair(0, 900, 100);
+  v.InsertPair(1, 930, 200);
+  EXPECT_EQ(v.TotalBytes(), 1830u);
+  EXPECT_EQ(v.FindChild(0), 0u);
+  EXPECT_EQ(v.FindChild(899), 0u);
+  EXPECT_EQ(v.FindChild(900), 1u);
+  EXPECT_EQ(v.FindChild(1829), 1u);
+}
+
+TEST_F(NodeViewTest, PaperFigure3Example) {
+  // The EOS structure of Figure 3: right child indexes 600 bytes in two
+  // segments of 470 and 130 bytes.
+  NodeView right(buf_.data(), 4096, false);
+  right.Init(1);
+  right.InsertPair(0, 470, 50);
+  right.InsertPair(1, 130, 60);
+  EXPECT_EQ(right.TotalBytes(), 600u);
+  EXPECT_EQ(right.FindChild(469), 0u);
+  EXPECT_EQ(right.FindChild(470), 1u);
+  EXPECT_EQ(right.SubtreeBytes(1), 130u);
+}
+
+TEST(TreeLimitsTest, MinFillIsHalfTheSmallerCapacity) {
+  TreeLimits limits;
+  EXPECT_EQ(limits.MinFill(), 253u);  // min(507, 511) / 2
+  TreeLimits tiny{8, 16};
+  EXPECT_EQ(tiny.MinFill(), 4u);
+}
+
+}  // namespace
+}  // namespace lob

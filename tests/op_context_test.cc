@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "buffer/op_context.h"
+
+#include "common/logging.h"
+#include "iomodel/sim_disk.h"
+
+namespace lob {
+namespace {
+
+class OpContextTest : public ::testing::Test {
+ protected:
+  OpContextTest() : disk_(cfg_), pool_(&disk_, cfg_) {
+    area_ = disk_.CreateArea();
+  }
+
+  void StageDirty(PageId page, char fill) {
+    auto g = pool_.FixPage(area_, page, FixMode::kNew);
+    LOB_CHECK_OK(g.status());
+    g->data()[0] = fill;
+    g->MarkDirty();
+  }
+
+  StorageConfig cfg_;
+  SimDisk disk_;
+  BufferPool pool_;
+  AreaId area_ = 0;
+};
+
+TEST_F(OpContextTest, FinishFlushesDeferredRanges) {
+  OpContext ctx(&pool_);
+  StageDirty(0, 'a');
+  StageDirty(1, 'b');
+  ctx.DeferFlush(area_, 0, 2);
+  EXPECT_EQ(disk_.stats().write_calls, 0u);
+  ASSERT_TRUE(ctx.Finish().ok());
+  EXPECT_EQ(disk_.stats().write_calls, 1u)
+      << "contiguous dirty run flushes in one sequential call";
+  EXPECT_EQ(disk_.stats().pages_written, 2u);
+}
+
+TEST_F(OpContextTest, FinishSkipsCleanPages) {
+  OpContext ctx(&pool_);
+  auto g = pool_.FixPage(area_, 5, FixMode::kNew);
+  ASSERT_TRUE(g.ok());
+  g->Release();
+  ctx.DeferFlush(area_, 5, 1);
+  ASSERT_TRUE(ctx.Finish().ok());
+  EXPECT_EQ(disk_.stats().write_calls, 0u) << "clean pages are not written";
+}
+
+TEST_F(OpContextTest, DuplicateDefersAreHarmless) {
+  OpContext ctx(&pool_);
+  StageDirty(3, 'x');
+  ctx.DeferFlush(area_, 3, 1);
+  ctx.DeferFlush(area_, 3, 1);
+  ASSERT_TRUE(ctx.Finish().ok());
+  EXPECT_EQ(disk_.stats().write_calls, 1u)
+      << "second flush finds the page clean";
+}
+
+TEST_F(OpContextTest, ShadowTrackingResetsOnFinish) {
+  OpContext ctx(&pool_);
+  EXPECT_FALSE(ctx.AlreadyShadowed(area_, 9));
+  ctx.NoteShadowed(area_, 9);
+  EXPECT_TRUE(ctx.AlreadyShadowed(area_, 9));
+  ASSERT_TRUE(ctx.Finish().ok());
+  EXPECT_FALSE(ctx.AlreadyShadowed(area_, 9))
+      << "a new operation may shadow the page again";
+}
+
+TEST_F(OpContextTest, ContextIsReusableAcrossOperations) {
+  OpContext ctx(&pool_);
+  for (int op = 0; op < 3; ++op) {
+    StageDirty(static_cast<PageId>(10 + op), 'y');
+    ctx.DeferFlush(area_, static_cast<PageId>(10 + op), 1);
+    ASSERT_TRUE(ctx.Finish().ok());
+  }
+  EXPECT_EQ(disk_.stats().write_calls, 3u);
+}
+
+TEST_F(OpContextTest, NonContiguousDirtyRunsSplitCalls) {
+  OpContext ctx(&pool_);
+  StageDirty(20, 'a');
+  StageDirty(22, 'b');  // hole at 21
+  ctx.DeferFlush(area_, 20, 3);
+  ASSERT_TRUE(ctx.Finish().ok());
+  EXPECT_EQ(disk_.stats().write_calls, 2u)
+      << "a hole in the dirty run costs a second seek";
+}
+
+}  // namespace
+}  // namespace lob

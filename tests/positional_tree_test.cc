@@ -1,0 +1,427 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "buffer/op_context.h"
+#include "common/rng.h"
+#include "lobtree/positional_tree.h"
+
+namespace lob {
+namespace {
+
+// Harness with tiny fan-out so splits/merges are exercised cheaply.
+class TreeTest : public ::testing::Test {
+ protected:
+  explicit TreeTest(uint32_t root_cap = 8, uint32_t internal_cap = 8) {
+    cfg_.buddy_space_order = 10;
+    disk_ = std::make_unique<SimDisk>(cfg_);
+    pool_ = std::make_unique<BufferPool>(disk_.get(), cfg_);
+    meta_id_ = disk_->CreateArea();
+    meta_ = std::make_unique<DatabaseArea>(pool_.get(), meta_id_, cfg_);
+    TreeConfig tc;
+    tc.pool = pool_.get();
+    tc.meta_area = meta_.get();
+    tc.limits.root_capacity = root_cap;
+    tc.limits.internal_capacity = internal_cap;
+    tc.shadowing = true;
+    tree_ = std::make_unique<PositionalTree>(tc);
+    ctx_ = std::make_unique<OpContext>(pool_.get());
+    auto root = tree_->CreateObject(0);
+    LOB_CHECK_OK(root.status());
+    root_ = *root;
+  }
+
+  // A unique fake leaf page id (the tree never dereferences leaf pages).
+  PageId NextLeafPage() { return next_leaf_page_++; }
+
+  // Mirror of the expected leaf sequence.
+  struct Ref {
+    uint32_t bytes;
+    PageId page;
+  };
+
+  void CheckAgainst(const std::vector<Ref>& ref) {
+    std::vector<Ref> got;
+    LOB_CHECK_OK(tree_->VisitLeaves(root_, [&](const auto& leaf) {
+      got.push_back({leaf.bytes, leaf.page});
+      return Status::OK();
+    }));
+    ASSERT_EQ(got.size(), ref.size());
+    uint64_t total = 0;
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(got[i].bytes, ref[i].bytes) << "leaf " << i;
+      EXPECT_EQ(got[i].page, ref[i].page) << "leaf " << i;
+      total += ref[i].bytes;
+    }
+    auto size = tree_->Size(root_);
+    ASSERT_TRUE(size.ok());
+    EXPECT_EQ(*size, total);
+    auto stats = tree_->Validate(root_);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->leaves, ref.size());
+    EXPECT_EQ(stats->bytes, total);
+  }
+
+  uint64_t RefOffset(const std::vector<Ref>& ref, size_t leaf_index) {
+    uint64_t off = 0;
+    for (size_t i = 0; i < leaf_index; ++i) off += ref[i].bytes;
+    return off;
+  }
+
+  Status Insert(uint64_t at, uint32_t bytes, PageId page) {
+    Status s = tree_->InsertLeaf(root_, at, {bytes, page}, ctx_.get());
+    LOB_CHECK_OK(ctx_->Finish());
+    return s;
+  }
+
+  StatusOr<LeafEntry> Remove(uint64_t at) {
+    auto r = tree_->RemoveLeaf(root_, at, ctx_.get());
+    LOB_CHECK_OK(ctx_->Finish());
+    return r;
+  }
+
+  StorageConfig cfg_;
+  std::unique_ptr<SimDisk> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  AreaId meta_id_ = 0;
+  std::unique_ptr<DatabaseArea> meta_;
+  std::unique_ptr<PositionalTree> tree_;
+  std::unique_ptr<OpContext> ctx_;
+  PageId root_ = kInvalidPage;
+  PageId next_leaf_page_ = 100000;
+};
+
+TEST_F(TreeTest, EmptyObject) {
+  auto size = tree_->Size(root_);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 0u);
+  EXPECT_EQ(tree_->FindLeaf(root_, 0).status().code(),
+            StatusCode::kOutOfRange);
+  auto stats = tree_->Validate(root_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->height, 1);
+  EXPECT_EQ(stats->index_pages, 1u);
+}
+
+TEST_F(TreeTest, EngineTagPersists) {
+  auto r2 = tree_->CreateObject(7);
+  ASSERT_TRUE(r2.ok());
+  auto e = tree_->GetEngine(*r2);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, 7);
+}
+
+TEST_F(TreeTest, AppendLeavesSequentially) {
+  std::vector<Ref> ref;
+  uint64_t at = 0;
+  for (int i = 0; i < 30; ++i) {
+    const uint32_t bytes = 100 + static_cast<uint32_t>(i);
+    const PageId page = NextLeafPage();
+    ASSERT_TRUE(Insert(at, bytes, page).ok()) << "leaf " << i;
+    ref.push_back({bytes, page});
+    at += bytes;
+  }
+  CheckAgainst(ref);
+  auto stats = tree_->Validate(root_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->height, 1) << "30 leaves with fan-out 8 must split";
+}
+
+TEST_F(TreeTest, FindLeafReturnsContainingLeaf) {
+  ASSERT_TRUE(Insert(0, 100, 11).ok());
+  ASSERT_TRUE(Insert(100, 200, 22).ok());
+  ASSERT_TRUE(Insert(300, 50, 33).ok());
+  auto leaf = tree_->FindLeaf(root_, 0);
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_EQ(leaf->page, 11u);
+  leaf = tree_->FindLeaf(root_, 99);
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_EQ(leaf->page, 11u);
+  leaf = tree_->FindLeaf(root_, 100);
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_EQ(leaf->page, 22u);
+  EXPECT_EQ(leaf->start, 100u);
+  EXPECT_EQ(leaf->bytes, 200u);
+  leaf = tree_->FindLeaf(root_, 349);
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_EQ(leaf->page, 33u);
+  EXPECT_EQ(tree_->FindLeaf(root_, 350).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(TreeTest, MidInsertShiftsFollowingLeaves) {
+  ASSERT_TRUE(Insert(0, 100, 11).ok());
+  ASSERT_TRUE(Insert(100, 100, 22).ok());
+  // Insert between the two leaves.
+  ASSERT_TRUE(Insert(100, 40, 99).ok());
+  CheckAgainst({{100, 11}, {40, 99}, {100, 22}});
+  auto leaf = tree_->FindLeaf(root_, 180);
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_EQ(leaf->page, 22u);
+  EXPECT_EQ(leaf->start, 140u);
+}
+
+TEST_F(TreeTest, InsertOffLeafBoundaryIsRejected) {
+  ASSERT_TRUE(Insert(0, 100, 11).ok());
+  EXPECT_FALSE(Insert(50, 10, 22).ok());
+  EXPECT_EQ(Insert(200, 10, 22).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(TreeTest, RemoveLeafReturnsEntry) {
+  ASSERT_TRUE(Insert(0, 100, 11).ok());
+  ASSERT_TRUE(Insert(100, 200, 22).ok());
+  ASSERT_TRUE(Insert(300, 50, 33).ok());
+  auto removed = Remove(100);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed->bytes, 200u);
+  EXPECT_EQ(removed->page, 22u);
+  CheckAgainst({{100, 11}, {50, 33}});
+}
+
+TEST_F(TreeTest, RemoveAllLeavesEmptiesObject) {
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(Insert(RefOffset({}, 0) + static_cast<uint64_t>(i) * 10, 10,
+                       NextLeafPage())
+                    .ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(Remove(0).ok());
+  }
+  auto size = tree_->Size(root_);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 0u);
+  auto stats = tree_->Validate(root_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->height, 1);
+  EXPECT_EQ(stats->index_pages, 1u) << "tree must collapse back to the root";
+}
+
+TEST_F(TreeTest, UpdateLeafAdjustsBytesAndPage) {
+  ASSERT_TRUE(Insert(0, 100, 11).ok());
+  ASSERT_TRUE(Insert(100, 200, 22).ok());
+  ASSERT_TRUE(tree_->UpdateLeaf(root_, 150, +55, 44, ctx_.get()).ok());
+  ASSERT_TRUE(ctx_->Finish().ok());
+  CheckAgainst({{100, 11}, {255, 44}});
+}
+
+TEST_F(TreeTest, UpdateLeafNegativeDelta) {
+  ASSERT_TRUE(Insert(0, 100, 11).ok());
+  ASSERT_TRUE(tree_->UpdateLeaf(root_, 0, -40, kInvalidPage, ctx_.get()).ok());
+  ASSERT_TRUE(ctx_->Finish().ok());
+  CheckAgainst({{60, 11}});
+}
+
+TEST_F(TreeTest, DeepTreeGrowsAndShrinks) {
+  std::vector<Ref> ref;
+  uint64_t at = 0;
+  for (int i = 0; i < 300; ++i) {
+    const PageId p = NextLeafPage();
+    ASSERT_TRUE(Insert(at, 10, p).ok());
+    ref.push_back({10, p});
+    at += 10;
+  }
+  auto stats = tree_->Validate(root_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->height, 3) << "300 leaves, fan-out 8";
+  CheckAgainst(ref);
+  // Remove from the front until only 3 leaves remain.
+  while (ref.size() > 3) {
+    ASSERT_TRUE(Remove(0).ok());
+    ref.erase(ref.begin());
+  }
+  CheckAgainst(ref);
+  stats = tree_->Validate(root_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->height, 1) << "tree must collapse as leaves disappear";
+}
+
+TEST_F(TreeTest, ShadowingRelocatesInternalNodesOncePerOp) {
+  // Build a height-2 tree, then watch one operation shadow the touched
+  // internal node: its page id must change across the operation.
+  uint64_t at = 0;
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(Insert(at, 10, NextLeafPage()).ok());
+    at += 10;
+  }
+  auto before = tree_->Validate(root_);
+  ASSERT_TRUE(before.ok());
+  ASSERT_GT(before->height, 1);
+
+  // Capture current index page count; an update-in-the-middle shadows the
+  // path (allocating and freeing one page per internal node touched), so
+  // the total page count is unchanged but pages move.
+  const uint64_t allocated_before = meta_->allocated_pages();
+  ASSERT_TRUE(tree_->UpdateLeaf(root_, 5, +1, kInvalidPage, ctx_.get()).ok());
+  ASSERT_TRUE(ctx_->Finish().ok());
+  EXPECT_EQ(meta_->allocated_pages(), allocated_before);
+  auto after = tree_->Validate(root_);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->index_pages, before->index_pages);
+}
+
+TEST_F(TreeTest, ShadowedPagesFlushedAtEndOfOp) {
+  uint64_t at = 0;
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(Insert(at, 10, NextLeafPage()).ok());
+    at += 10;
+  }
+  disk_->ResetStats();
+  ASSERT_TRUE(tree_->UpdateLeaf(root_, 5, +1, kInvalidPage, ctx_.get()).ok());
+  ASSERT_TRUE(ctx_->Finish().ok());
+  // At least one write call: the shadow copy of the internal node on the
+  // path (the root itself is not flushed per operation).
+  EXPECT_GE(disk_->stats().write_calls, 1u);
+}
+
+TEST_F(TreeTest, DestroyObjectFreesAllIndexPages) {
+  uint64_t at = 0;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(Insert(at, 10, NextLeafPage()).ok());
+    at += 10;
+  }
+  ASSERT_GT(meta_->allocated_pages(), 1u);
+  ASSERT_TRUE(tree_->DestroyObject(root_).ok());
+  EXPECT_EQ(meta_->allocated_pages(), 0u);
+}
+
+TEST_F(TreeTest, AuxWordRoundTrips) {
+  ASSERT_TRUE(tree_->SetAux(root_, 12345).ok());
+  auto v = tree_->GetAux(root_);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 12345u);
+}
+
+// Property test: random leaf insert/remove/update against a vector model.
+TEST_F(TreeTest, RandomOpsMatchReferenceModel) {
+  std::vector<Ref> ref;
+  Rng rng(2024);
+  for (int step = 0; step < 3000; ++step) {
+    const double p = rng.NextDouble();
+    if (ref.empty() || p < 0.45) {
+      const size_t pos = rng.Uniform(0, ref.size());
+      const uint32_t bytes = static_cast<uint32_t>(rng.Uniform(1, 5000));
+      const PageId page = NextLeafPage();
+      ASSERT_TRUE(Insert(RefOffset(ref, pos), bytes, page).ok())
+          << "step " << step;
+      ref.insert(ref.begin() + static_cast<long>(pos), {bytes, page});
+    } else if (p < 0.8) {
+      const size_t pos = rng.Uniform(0, ref.size() - 1);
+      auto removed = Remove(RefOffset(ref, pos));
+      ASSERT_TRUE(removed.ok()) << "step " << step;
+      ASSERT_EQ(removed->bytes, ref[pos].bytes);
+      ASSERT_EQ(removed->page, ref[pos].page);
+      ref.erase(ref.begin() + static_cast<long>(pos));
+    } else {
+      const size_t pos = rng.Uniform(0, ref.size() - 1);
+      const int64_t delta =
+          static_cast<int64_t>(rng.Uniform(0, 200)) -
+          std::min<int64_t>(100, ref[pos].bytes - 1);
+      ASSERT_TRUE(tree_
+                      ->UpdateLeaf(root_, RefOffset(ref, pos), delta,
+                                   kInvalidPage, ctx_.get())
+                      .ok())
+          << "step " << step;
+      ASSERT_TRUE(ctx_->Finish().ok());
+      ref[pos].bytes = static_cast<uint32_t>(
+          static_cast<int64_t>(ref[pos].bytes) + delta);
+    }
+    if (step % 250 == 0) CheckAgainst(ref);
+  }
+  CheckAgainst(ref);
+}
+
+// Same property test at paper-scale fan-out (507/511) to catch capacity
+// arithmetic bugs at realistic sizes.
+class BigFanoutTreeTest : public TreeTest {
+ protected:
+  BigFanoutTreeTest() : TreeTest(507, 511) {}
+};
+
+TEST_F(BigFanoutTreeTest, ThousandsOfLeaves) {
+  std::vector<Ref> ref;
+  uint64_t at = 0;
+  // 2560 leaves of 4096 bytes = the paper's 10M-byte object with 1-page
+  // ESM leaves; the tree must come out height 2 with about 9-10 internal
+  // nodes (paper 4.2).
+  for (int i = 0; i < 2560; ++i) {
+    const PageId p = NextLeafPage();
+    ASSERT_TRUE(Insert(at, 4096, p).ok());
+    ref.push_back({4096, p});
+    at += 4096;
+  }
+  auto stats = tree_->Validate(root_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->height, 2);
+  EXPECT_GE(stats->index_pages, 1u + 6u);
+  EXPECT_LE(stats->index_pages, 1u + 12u);
+  EXPECT_EQ(stats->bytes, 2560u * 4096u);
+  auto size = tree_->Size(root_);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 10u * 1024 * 1024);
+}
+
+TEST_F(BigFanoutTreeTest, MassRemovalAtRealFanout) {
+  // Exercise borrow/merge/collapse at the paper's 507/511-pair capacities:
+  // grow past one node, then remove until nearly empty, validating the
+  // half-full invariant along the way.
+  std::vector<Ref> ref;
+  uint64_t at = 0;
+  Rng rng(515151);
+  for (int i = 0; i < 1500; ++i) {
+    const uint32_t bytes = static_cast<uint32_t>(rng.Uniform(1, 8192));
+    const PageId p = NextLeafPage();
+    ASSERT_TRUE(Insert(at, bytes, p).ok());
+    ref.push_back({bytes, p});
+    at += bytes;
+  }
+  {
+    auto stats = tree_->Validate(root_);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->height, 2);
+  }
+  while (ref.size() > 3) {
+    const size_t pos = rng.Uniform(0, ref.size() - 1);
+    auto removed = Remove(RefOffset(ref, pos));
+    ASSERT_TRUE(removed.ok()) << "at " << ref.size() << " leaves";
+    ASSERT_EQ(removed->bytes, ref[pos].bytes);
+    ref.erase(ref.begin() + static_cast<long>(pos));
+    if (ref.size() % 100 == 0) {
+      auto stats = tree_->Validate(root_);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString() << " at "
+                              << ref.size() << " leaves";
+    }
+  }
+  CheckAgainst(ref);
+  auto stats = tree_->Validate(root_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->height, 1) << "tree must collapse back";
+}
+
+TEST_F(BigFanoutTreeTest, AlternatingChurnAtRealFanout) {
+  // Insert/remove churn around the capacity boundary where root growth
+  // and collapse alternate.
+  std::vector<Ref> ref;
+  Rng rng(626262);
+  for (int round = 0; round < 6; ++round) {
+    while (ref.size() < 600) {
+      const size_t pos = rng.Uniform(0, ref.size());
+      const uint32_t bytes = static_cast<uint32_t>(rng.Uniform(1, 4096));
+      const PageId p = NextLeafPage();
+      ASSERT_TRUE(Insert(RefOffset(ref, pos), bytes, p).ok());
+      ref.insert(ref.begin() + static_cast<long>(pos), {bytes, p});
+    }
+    while (ref.size() > 450) {
+      const size_t pos = rng.Uniform(0, ref.size() - 1);
+      ASSERT_TRUE(Remove(RefOffset(ref, pos)).ok());
+      ref.erase(ref.begin() + static_cast<long>(pos));
+    }
+    auto stats = tree_->Validate(root_);
+    ASSERT_TRUE(stats.ok()) << "round " << round;
+  }
+  CheckAgainst(ref);
+}
+
+}  // namespace
+}  // namespace lob

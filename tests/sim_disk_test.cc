@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "iomodel/sim_disk.h"
+
+namespace lob {
+namespace {
+
+StorageConfig TestConfig() { return StorageConfig{}; }
+
+TEST(SimDiskTest, RoundTripSinglePage) {
+  SimDisk disk(TestConfig());
+  AreaId a = disk.CreateArea();
+  std::vector<char> out(4096, 'x'), in(4096);
+  ASSERT_TRUE(disk.Write(a, 5, 1, out.data()).ok());
+  ASSERT_TRUE(disk.Read(a, 5, 1, in.data()).ok());
+  EXPECT_EQ(std::memcmp(out.data(), in.data(), 4096), 0);
+}
+
+TEST(SimDiskTest, UnwrittenPagesReadAsZeros) {
+  SimDisk disk(TestConfig());
+  AreaId a = disk.CreateArea();
+  std::vector<char> in(4096, 'x');
+  ASSERT_TRUE(disk.Read(a, 99, 1, in.data()).ok());
+  for (char c : in) EXPECT_EQ(c, 0);
+}
+
+TEST(SimDiskTest, MultiPageCallMovesAllPages) {
+  SimDisk disk(TestConfig());
+  AreaId a = disk.CreateArea();
+  std::vector<char> out(3 * 4096);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<char>(i % 251);
+  }
+  ASSERT_TRUE(disk.Write(a, 10, 3, out.data()).ok());
+  std::vector<char> in(3 * 4096);
+  ASSERT_TRUE(disk.Read(a, 10, 3, in.data()).ok());
+  EXPECT_EQ(out, in);
+}
+
+TEST(SimDiskTest, CostModelMatchesPaperExample) {
+  // Paper 4.1: reading a 3-block (12K) segment costs 33 + 4*3 = 45 ms;
+  // reading the same blocks with 3 calls costs (33+4)*3 = 111 ms.
+  SimDisk disk(TestConfig());
+  AreaId a = disk.CreateArea();
+  std::vector<char> buf(3 * 4096);
+  ASSERT_TRUE(disk.Read(a, 0, 3, buf.data()).ok());
+  EXPECT_DOUBLE_EQ(disk.stats().ms, 45.0);
+  EXPECT_EQ(disk.stats().read_calls, 1u);
+  EXPECT_EQ(disk.stats().pages_read, 3u);
+
+  disk.ResetStats();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(disk.Read(a, static_cast<PageId>(i), 1, buf.data()).ok());
+  }
+  EXPECT_DOUBLE_EQ(disk.stats().ms, 111.0);
+  EXPECT_EQ(disk.stats().Seeks(), 3u);
+}
+
+TEST(SimDiskTest, WritesAreMeteredLikeReads) {
+  SimDisk disk(TestConfig());
+  AreaId a = disk.CreateArea();
+  std::vector<char> buf(2 * 4096, 1);
+  ASSERT_TRUE(disk.Write(a, 0, 2, buf.data()).ok());
+  EXPECT_DOUBLE_EQ(disk.stats().ms, 33.0 + 8.0);
+  EXPECT_EQ(disk.stats().write_calls, 1u);
+  EXPECT_EQ(disk.stats().pages_written, 2u);
+  EXPECT_EQ(disk.stats().read_calls, 0u);
+}
+
+TEST(SimDiskTest, StatsSnapshotsSubtract) {
+  SimDisk disk(TestConfig());
+  AreaId a = disk.CreateArea();
+  std::vector<char> buf(4096, 1);
+  ASSERT_TRUE(disk.Write(a, 0, 1, buf.data()).ok());
+  IoStats before = disk.stats();
+  ASSERT_TRUE(disk.Read(a, 0, 1, buf.data()).ok());
+  IoStats delta = disk.stats() - before;
+  EXPECT_EQ(delta.read_calls, 1u);
+  EXPECT_EQ(delta.write_calls, 0u);
+  EXPECT_DOUBLE_EQ(delta.ms, 37.0);
+}
+
+TEST(SimDiskTest, MultipleAreasAreIndependent) {
+  SimDisk disk(TestConfig());
+  AreaId a = disk.CreateArea();
+  AreaId b = disk.CreateArea();
+  EXPECT_NE(a, b);
+  std::vector<char> one(4096, 1), two(4096, 2), in(4096);
+  ASSERT_TRUE(disk.Write(a, 0, 1, one.data()).ok());
+  ASSERT_TRUE(disk.Write(b, 0, 1, two.data()).ok());
+  ASSERT_TRUE(disk.Read(a, 0, 1, in.data()).ok());
+  EXPECT_EQ(in[0], 1);
+  ASSERT_TRUE(disk.Read(b, 0, 1, in.data()).ok());
+  EXPECT_EQ(in[0], 2);
+}
+
+TEST(SimDiskTest, RejectsBadArguments) {
+  SimDisk disk(TestConfig());
+  AreaId a = disk.CreateArea();
+  std::vector<char> buf(4096);
+  EXPECT_FALSE(disk.Read(a + 10, 0, 1, buf.data()).ok());
+  EXPECT_FALSE(disk.Read(a, 0, 0, buf.data()).ok());
+  EXPECT_FALSE(disk.Read(a, kInvalidPage, 1, buf.data()).ok());
+}
+
+TEST(SimDiskTest, HighWaterTracksWrites) {
+  SimDisk disk(TestConfig());
+  AreaId a = disk.CreateArea();
+  EXPECT_EQ(disk.AreaHighWater(a), 0u);
+  std::vector<char> buf(4096, 1);
+  ASSERT_TRUE(disk.Write(a, 41, 1, buf.data()).ok());
+  EXPECT_EQ(disk.AreaHighWater(a), 42u);
+}
+
+TEST(IoStatsTest, ArithmeticAndToString) {
+  IoStats s;
+  s.read_calls = 2;
+  s.write_calls = 1;
+  s.pages_read = 5;
+  s.pages_written = 1;
+  s.ms = 10;
+  IoStats t = s + s;
+  EXPECT_EQ(t.Seeks(), 6u);
+  EXPECT_EQ(t.PagesTransferred(), 12u);
+  EXPECT_DOUBLE_EQ((t - s).ms, 10.0);
+  EXPECT_NE(s.ToString().find("reads=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lob

@@ -1,0 +1,267 @@
+// Structure-level invariant tests: the precise shape rules each paper
+// structure promises, checked directly on the page images rather than
+// through the byte API.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/storage_system.h"
+#include "eos/eos_manager.h"
+#include "esm/esm_manager.h"
+#include "lobtree/positional_tree.h"
+#include "starburst/starburst_manager.h"
+
+namespace lob {
+namespace {
+
+std::string Pattern(uint64_t seed, size_t n) {
+  std::string out(n, '\0');
+  Rng rng(seed);
+  for (auto& c : out) c = static_cast<char>('a' + rng.Uniform(0, 25));
+  return out;
+}
+
+// Reads the leaf byte counts of a positional-tree object via a fresh tree
+// handle (works for ESM and EOS roots).
+std::vector<uint64_t> LeafSizes(StorageSystem* sys, ObjectId id) {
+  TreeConfig tc;
+  tc.pool = sys->pool();
+  tc.meta_area = sys->meta_area();
+  PositionalTree tree(tc);
+  std::vector<uint64_t> out;
+  LOB_CHECK_OK(tree.VisitLeaves(id, [&](const auto& leaf) {
+    out.push_back(leaf.bytes);
+    return Status::OK();
+  }));
+  return out;
+}
+
+// ------------------------------------------------------------------- ESM
+
+TEST(EsmInvariants, AppendKeepsAllButLastTwoLeavesFull) {
+  // Paper 4.2: after appends, all but the two rightmost leaves are full
+  // and the last two are each at least half full.
+  StorageSystem sys;
+  EsmOptions opt;
+  opt.leaf_pages = 4;
+  EsmManager mgr(&sys, opt);
+  auto id = mgr.Create();
+  ASSERT_TRUE(id.ok());
+  Rng rng(1);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(
+        mgr.Append(*id, Pattern(rng.Next(), rng.Uniform(1000, 30000))).ok());
+  }
+  const uint64_t cap = 4 * 4096;
+  auto sizes = LeafSizes(&sys, *id);
+  ASSERT_GE(sizes.size(), 3u);
+  for (size_t i = 0; i + 2 < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i], cap) << "leaf " << i << " must be full";
+  }
+  EXPECT_GE(sizes[sizes.size() - 2], cap / 2);
+  EXPECT_GE(sizes[sizes.size() - 1], cap / 2);
+}
+
+TEST(EsmInvariants, LeavesStayAtLeastHalfFullUnderDeletes) {
+  StorageSystem sys;
+  EsmOptions opt;
+  opt.leaf_pages = 2;
+  EsmManager mgr(&sys, opt);
+  auto id = mgr.Create();
+  ASSERT_TRUE(id.ok());
+  std::string oracle = Pattern(2, 200000);
+  ASSERT_TRUE(mgr.Append(*id, oracle).ok());
+  Rng rng(3);
+  for (int i = 0; i < 120; ++i) {
+    const uint64_t n = rng.Uniform(100, 5000);
+    if (oracle.size() <= n + 1) break;
+    const uint64_t off = rng.Uniform(0, oracle.size() - n);
+    ASSERT_TRUE(mgr.Delete(*id, off, n).ok());
+    oracle.erase(off, n);
+  }
+  const uint64_t cap = 2 * 4096;
+  auto sizes = LeafSizes(&sys, *id);
+  // Every leaf at least half full except possibly at the very edges of
+  // update activity (the paper's structure tolerates the last leaf and a
+  // freshly deleted boundary being underfull until the next touch; we
+  // assert the aggregate is sane: at most 2 underfull leaves).
+  int underfull = 0;
+  for (uint64_t s : sizes) {
+    if (s < cap / 2) underfull++;
+  }
+  EXPECT_LE(underfull, 2) << "B-tree style occupancy must be maintained";
+}
+
+TEST(EsmInvariants, FixedLeafAllocationNeverVaries) {
+  StorageSystem sys;
+  EsmOptions opt;
+  opt.leaf_pages = 16;
+  EsmManager mgr(&sys, opt);
+  auto id = mgr.Create();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(mgr.Append(*id, Pattern(4, 500000)).ok());
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(
+        mgr.Insert(*id, rng.Uniform(0, 400000), Pattern(rng.Next(), 9000))
+            .ok());
+  }
+  auto stats = mgr.GetStorageStats(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->leaf_pages, uint64_t{stats->segments} * 16)
+      << "every ESM leaf occupies exactly leaf_pages pages";
+}
+
+// ------------------------------------------------------------- Starburst
+
+TEST(StarburstInvariants, MiddleSegmentsAlwaysFull) {
+  StorageSystem sys;
+  StarburstManager mgr(&sys, StarburstOptions());
+  auto id = mgr.Create();
+  ASSERT_TRUE(id.ok());
+  Rng rng(6);
+  // Appends, inserts and deletes in arbitrary order; Validate() checks
+  // that every non-last segment holds exactly alloc*page_size bytes (the
+  // implicit-size invariant the descriptor depends on).
+  std::string oracle;
+  for (int i = 0; i < 60; ++i) {
+    const double p = rng.NextDouble();
+    if (oracle.empty() || p < 0.5) {
+      std::string data = Pattern(rng.Next(), rng.Uniform(1, 40000));
+      ASSERT_TRUE(mgr.Append(*id, data).ok());
+      oracle += data;
+    } else if (p < 0.75) {
+      const uint64_t off = rng.Uniform(0, oracle.size());
+      std::string data = Pattern(rng.Next(), rng.Uniform(1, 20000));
+      ASSERT_TRUE(mgr.Insert(*id, off, data).ok());
+      oracle.insert(off, data);
+    } else {
+      const uint64_t n =
+          rng.Uniform(1, std::min<uint64_t>(oracle.size(), 20000));
+      const uint64_t off = rng.Uniform(0, oracle.size() - n);
+      ASSERT_TRUE(mgr.Delete(*id, off, n).ok());
+      oracle.erase(off, n);
+    }
+    ASSERT_TRUE(mgr.Validate(*id).ok()) << "op " << i;
+  }
+}
+
+TEST(StarburstInvariants, SegmentCountIsLogarithmic) {
+  // Doubling growth: a 10 MB field built from 3 KB appends uses O(log)
+  // segments, not thousands (the reason the pointer array fits in the
+  // descriptor).
+  StorageSystem sys;
+  StarburstManager mgr(&sys, StarburstOptions());
+  auto id = mgr.Create();
+  ASSERT_TRUE(id.ok());
+  for (int i = 0; i < 3500; ++i) {
+    ASSERT_TRUE(mgr.Append(*id, Pattern(static_cast<uint64_t>(i), 3000)).ok());
+  }
+  auto stats = mgr.GetStorageStats(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LE(stats->segments, 14u) << "1+2+4+... covers 10 MB in ~12 steps";
+  EXPECT_EQ(stats->index_pages, 1u) << "one descriptor page";
+}
+
+// ------------------------------------------------------------------- EOS
+
+TEST(EosInvariants, SegmentsHaveNoHoles) {
+  // "There are no holes in each segment: all of its pages must get filled
+  // up except the last one which may be partially full" - equivalently,
+  // every leaf's page count is exactly ceil(bytes / page_size); the
+  // allocator-level check is that allocated pages equal the sum of those
+  // (plus the last leaf's growth slack).
+  StorageSystem sys;
+  EosOptions opt;
+  opt.threshold_pages = 4;
+  EosManager mgr(&sys, opt);
+  auto id = mgr.Create();
+  ASSERT_TRUE(id.ok());
+  Rng rng(8);
+  std::string oracle;
+  for (int i = 0; i < 80; ++i) {
+    const double p = rng.NextDouble();
+    if (oracle.empty() || p < 0.45) {
+      std::string data = Pattern(rng.Next(), rng.Uniform(1, 30000));
+      const uint64_t off = oracle.empty() ? 0 : rng.Uniform(0, oracle.size());
+      ASSERT_TRUE(mgr.Insert(*id, off, data).ok());
+      oracle.insert(off, data);
+    } else {
+      const uint64_t n =
+          rng.Uniform(1, std::min<uint64_t>(oracle.size(), 20000));
+      const uint64_t off = rng.Uniform(0, oracle.size() - n);
+      ASSERT_TRUE(mgr.Delete(*id, off, n).ok());
+      oracle.erase(off, n);
+    }
+  }
+  auto stats = mgr.GetStorageStats(*id);
+  ASSERT_TRUE(stats.ok());
+  uint64_t expect_pages = 0;
+  for (uint64_t s : LeafSizes(&sys, *id)) {
+    expect_pages += (s + 4095) / 4096;
+  }
+  EXPECT_EQ(sys.leaf_area()->allocated_pages(), expect_pages)
+      << "allocated pages must equal ceil(bytes/page) per segment";
+}
+
+TEST(EosInvariants, TreeStaysLevelOneDuringBuild) {
+  // Paper 4.2: for EOS a tree of level greater than 1 needs a >16 GB
+  // object; any realistic build keeps the root pointing directly at
+  // segments.
+  StorageSystem sys;
+  EosOptions opt;
+  EosManager mgr(&sys, opt);
+  auto id = mgr.Create();
+  ASSERT_TRUE(id.ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        mgr.Append(*id, Pattern(static_cast<uint64_t>(i), 50000)).ok());
+  }
+  auto stats = mgr.GetStorageStats(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->tree_height, 1);
+}
+
+// ------------------------------------------------------- corruption paths
+
+TEST(CorruptionDetection, TreeRejectsClobberedNodes) {
+  StorageSystem sys;
+  EsmOptions opt;
+  opt.leaf_pages = 1;
+  EsmManager mgr(&sys, opt);
+  auto id = mgr.Create();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(mgr.Append(*id, Pattern(9, 50000)).ok());
+  // Scribble over the root page behind the manager's back.
+  {
+    auto g = sys.pool()->FixPage(sys.meta_area()->id(), *id, FixMode::kRead);
+    ASSERT_TRUE(g.ok());
+    std::memset(g->data(), 0xAB, 64);
+    g->MarkDirty();
+  }
+  EXPECT_EQ(mgr.Validate(*id).code(), StatusCode::kCorruption);
+  std::string out;
+  EXPECT_FALSE(mgr.Read(*id, 0, 10, &out).ok());
+}
+
+TEST(CorruptionDetection, StarburstRejectsClobberedDescriptor) {
+  StorageSystem sys;
+  StarburstManager mgr(&sys, StarburstOptions());
+  auto id = mgr.Create();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(mgr.Append(*id, Pattern(10, 50000)).ok());
+  {
+    auto g = sys.pool()->FixPage(sys.meta_area()->id(), *id, FixMode::kRead);
+    ASSERT_TRUE(g.ok());
+    std::memset(g->data(), 0xCD, 16);
+    g->MarkDirty();
+  }
+  std::string out;
+  EXPECT_EQ(mgr.Read(*id, 0, 10, &out).code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace lob

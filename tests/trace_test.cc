@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/factory.h"
+#include "core/storage_system.h"
+#include "workload/trace.h"
+
+namespace lob {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return std::string(::testing::TempDir()) + "/lobstore_" + tag + ".trace";
+}
+
+MixSpec SmallMix() {
+  MixSpec mix;
+  mix.mean_op_bytes = 2000;
+  mix.total_ops = 200;
+  mix.seed = 99;
+  return mix;
+}
+
+TEST(TraceTest, GenerationIsDeterministic) {
+  Trace a = GenerateUpdateMixTrace(100000, 10000, SmallMix());
+  Trace b = GenerateUpdateMixTrace(100000, 10000, SmallMix());
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(a.ops[i].kind),
+              static_cast<int>(b.ops[i].kind));
+    EXPECT_EQ(a.ops[i].offset, b.ops[i].offset);
+    EXPECT_EQ(a.ops[i].size, b.ops[i].size);
+    EXPECT_EQ(a.ops[i].seed, b.ops[i].seed);
+  }
+  EXPECT_GT(a.BytesWritten(), 100000u);
+  EXPECT_GT(a.BytesRead(), 0u);
+}
+
+TEST(TraceTest, ReplayMatchesExpectedContent) {
+  const Trace trace = GenerateUpdateMixTrace(50000, 5000, SmallMix());
+  StorageSystem sys;
+  auto mgr = CreateEosManager(&sys, 4);
+  auto id = mgr->Create();
+  ASSERT_TRUE(id.ok());
+  auto io = ApplyTrace(&sys, mgr.get(), *id, trace);
+  ASSERT_TRUE(io.ok());
+  EXPECT_GT(io->ms, 0.0);
+  EXPECT_TRUE(VerifyTrace(mgr.get(), *id, trace).ok());
+}
+
+TEST(TraceTest, SameTraceSameContentAcrossEngines) {
+  const Trace trace = GenerateUpdateMixTrace(80000, 8000, SmallMix());
+  const std::string expect = ExpectedContent(trace);
+  for (int engine = 0; engine < 3; ++engine) {
+    StorageSystem sys;
+    auto mgr = engine == 0   ? CreateEsmManager(&sys, 2)
+               : engine == 1 ? CreateStarburstManager(&sys)
+                             : CreateEosManager(&sys, 8);
+    auto id = mgr->Create();
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(ApplyTrace(&sys, mgr.get(), *id, trace).ok());
+    std::string got;
+    ASSERT_TRUE(mgr->Read(*id, 0, expect.size(), &got).ok());
+    EXPECT_EQ(got, expect) << "engine " << engine;
+  }
+}
+
+TEST(TraceTest, ReplayIsCostDeterministic) {
+  const Trace trace = GenerateUpdateMixTrace(60000, 6000, SmallMix());
+  double ms[2];
+  for (int round = 0; round < 2; ++round) {
+    StorageSystem sys;
+    auto mgr = CreateEsmManager(&sys, 4);
+    auto id = mgr->Create();
+    ASSERT_TRUE(id.ok());
+    auto io = ApplyTrace(&sys, mgr.get(), *id, trace);
+    ASSERT_TRUE(io.ok());
+    ms[round] = io->ms;
+  }
+  EXPECT_DOUBLE_EQ(ms[0], ms[1]) << "identical runs must cost identically";
+}
+
+TEST(TraceTest, SaveLoadRoundTrip) {
+  const std::string path = TempPath("roundtrip");
+  const Trace trace = GenerateUpdateMixTrace(30000, 3000, SmallMix());
+  ASSERT_TRUE(SaveTrace(trace, path).ok());
+  auto loaded = LoadTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->ops.size(), trace.ops.size());
+  EXPECT_EQ(ExpectedContent(*loaded), ExpectedContent(trace));
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, LoadMissingOrBadFile) {
+  EXPECT_EQ(LoadTrace("/nonexistent/x.trace").status().code(),
+            StatusCode::kNotFound);
+  const std::string path = TempPath("bad");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("explode 1 2 3\n", f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(LoadTrace(path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, BadTraceOpSurfacesPosition) {
+  Trace trace;
+  trace.ops.push_back({TraceOp::Kind::kAppend, 0, 100, 7});
+  trace.ops.push_back({TraceOp::Kind::kDelete, 500, 100, 0});  // past end
+  StorageSystem sys;
+  auto mgr = CreateEosManager(&sys, 4);
+  auto id = mgr->Create();
+  ASSERT_TRUE(id.ok());
+  Status s = ApplyTrace(&sys, mgr.get(), *id, trace).status();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("trace op 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lob

@@ -1,0 +1,223 @@
+// lobtool: command line shell around a lobstore database image.
+//
+//   lobtool <db.img> init
+//   lobtool <db.img> create <name> <esm|starburst|eos> [param]
+//   lobtool <db.img> put <name> <file>            append file contents
+//   lobtool <db.img> cat <name> [offset [bytes]]  object bytes to stdout
+//   lobtool <db.img> insert <name> <offset> <file>
+//   lobtool <db.img> delete <name> <offset> <bytes>
+//   lobtool <db.img> ls
+//   lobtool <db.img> rm <name>
+//   lobtool <db.img> stat <name>
+//   lobtool <db.img> info
+//
+// Every mutating command reopens the image, applies the change, and saves
+// it back - a deliberately simple single-shot model matching the
+// simulated (volatile) disk underneath.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+
+using namespace lob;
+
+namespace {
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "lobtool: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: lobtool <db.img> "
+               "init|create|put|cat|insert|delete|ls|rm|stat|info ...\n");
+  return 2;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    out.append(buf, n);
+  }
+  return out;
+}
+
+StatusOr<Engine> ParseEngine(const std::string& name) {
+  if (name == "esm") return Engine::kEsm;
+  if (name == "starburst") return Engine::kStarburst;
+  if (name == "eos") return Engine::kEos;
+  return Status::InvalidArgument("unknown engine (esm|starburst|eos)");
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string image = argv[1];
+  const std::string cmd = argv[2];
+
+  if (cmd == "init") {
+    auto db = Database::Create();
+    if (!db.ok()) return Fail(db.status());
+    if (Status s = (*db)->Save(image); !s.ok()) return Fail(s);
+    std::printf("initialized %s\n", image.c_str());
+    return 0;
+  }
+
+  auto db = Database::Open(image);
+  if (!db.ok()) return Fail(db.status());
+
+  if (cmd == "create") {
+    if (argc < 5) return Usage();
+    auto engine = ParseEngine(argv[4]);
+    if (!engine.ok()) return Fail(engine.status());
+    const uint32_t param =
+        argc > 5 ? static_cast<uint32_t>(std::strtoul(argv[5], nullptr, 10))
+                 : 4;
+    auto id = (*db)->CreateObject(argv[3], *engine, param);
+    if (!id.ok()) return Fail(id.status());
+    if (Status s = (*db)->Save(image); !s.ok()) return Fail(s);
+    std::printf("created %s (%s, id %u)\n", argv[3], argv[4], *id);
+    return 0;
+  }
+
+  if (cmd == "put" || cmd == "insert") {
+    if (argc < (cmd == "put" ? 5 : 6)) return Usage();
+    auto id = (*db)->Lookup(argv[3]);
+    if (!id.ok()) return Fail(id.status());
+    auto mgr = (*db)->ManagerForObject(*id);
+    if (!mgr.ok()) return Fail(mgr.status());
+    auto data = ReadFile(argv[cmd == "put" ? 4 : 5]);
+    if (!data.ok()) return Fail(data.status());
+    Status s;
+    if (cmd == "put") {
+      s = (*mgr)->Append(*id, *data);
+    } else {
+      const uint64_t off = std::strtoull(argv[4], nullptr, 10);
+      s = (*mgr)->Insert(*id, off, *data);
+    }
+    if (!s.ok()) return Fail(s);
+    if (Status saved = (*db)->Save(image); !saved.ok()) return Fail(saved);
+    std::printf("%s %zu bytes into %s\n",
+                cmd == "put" ? "appended" : "inserted", data->size(),
+                argv[3]);
+    return 0;
+  }
+
+  if (cmd == "cat") {
+    if (argc < 4) return Usage();
+    auto id = (*db)->Lookup(argv[3]);
+    if (!id.ok()) return Fail(id.status());
+    auto mgr = (*db)->ManagerForObject(*id);
+    if (!mgr.ok()) return Fail(mgr.status());
+    auto size = (*mgr)->Size(*id);
+    if (!size.ok()) return Fail(size.status());
+    const uint64_t off =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 0;
+    const uint64_t n = argc > 5 ? std::strtoull(argv[5], nullptr, 10)
+                                : (*size > off ? *size - off : 0);
+    std::string out;
+    if (Status s = (*mgr)->Read(*id, off, n, &out); !s.ok()) return Fail(s);
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    return 0;
+  }
+
+  if (cmd == "delete") {
+    if (argc < 6) return Usage();
+    auto id = (*db)->Lookup(argv[3]);
+    if (!id.ok()) return Fail(id.status());
+    auto mgr = (*db)->ManagerForObject(*id);
+    if (!mgr.ok()) return Fail(mgr.status());
+    const uint64_t off = std::strtoull(argv[4], nullptr, 10);
+    const uint64_t n = std::strtoull(argv[5], nullptr, 10);
+    if (Status s = (*mgr)->Delete(*id, off, n); !s.ok()) return Fail(s);
+    if (Status saved = (*db)->Save(image); !saved.ok()) return Fail(saved);
+    std::printf("deleted %llu bytes at %llu from %s\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(off), argv[3]);
+    return 0;
+  }
+
+  if (cmd == "ls") {
+    auto list = (*db)->catalog()->List();
+    if (!list.ok()) return Fail(list.status());
+    for (const auto& [name, id] : *list) {
+      auto engine = (*db)->ObjectEngine(id);
+      auto mgr = (*db)->ManagerForObject(id);
+      uint64_t size = 0;
+      if (mgr.ok()) {
+        auto s = (*mgr)->Size(id);
+        if (s.ok()) size = *s;
+      }
+      std::printf("%-32s %-10s %12llu bytes\n", name.c_str(),
+                  engine.ok() ? EngineName(*engine) : "?",
+                  static_cast<unsigned long long>(size));
+    }
+    return 0;
+  }
+
+  if (cmd == "rm") {
+    if (argc < 4) return Usage();
+    if (Status s = (*db)->DropObject(argv[3]); !s.ok()) return Fail(s);
+    if (Status saved = (*db)->Save(image); !saved.ok()) return Fail(saved);
+    std::printf("removed %s\n", argv[3]);
+    return 0;
+  }
+
+  if (cmd == "stat") {
+    if (argc < 4) return Usage();
+    auto id = (*db)->Lookup(argv[3]);
+    if (!id.ok()) return Fail(id.status());
+    auto mgr = (*db)->ManagerForObject(*id);
+    if (!mgr.ok()) return Fail(mgr.status());
+    auto stats = (*mgr)->GetStorageStats(*id);
+    if (!stats.ok()) return Fail(stats.status());
+    auto engine = (*db)->ObjectEngine(*id);
+    std::printf("name:        %s\n", argv[3]);
+    std::printf("engine:      %s\n",
+                engine.ok() ? EngineName(*engine) : "?");
+    std::printf("size:        %llu bytes\n",
+                static_cast<unsigned long long>(stats->object_bytes));
+    std::printf("segments:    %u\n", stats->segments);
+    std::printf("leaf pages:  %llu\n",
+                static_cast<unsigned long long>(stats->leaf_pages));
+    std::printf("index pages: %llu\n",
+                static_cast<unsigned long long>(stats->index_pages));
+    std::printf("tree height: %u\n", stats->tree_height);
+    std::printf("utilization: %.1f%%\n",
+                stats->Utilization((*db)->sys()->config().page_size) * 100);
+    return 0;
+  }
+
+  if (cmd == "info") {
+    StorageSystem* sys = (*db)->sys();
+    auto count = (*db)->catalog()->Size();
+    std::printf("objects:          %llu\n",
+                static_cast<unsigned long long>(count.ok() ? *count : 0));
+    std::printf("meta area pages:  %llu allocated (%u buddy spaces)\n",
+                static_cast<unsigned long long>(
+                    sys->meta_area()->allocated_pages()),
+                sys->meta_area()->num_spaces());
+    std::printf("leaf area pages:  %llu allocated (%u buddy spaces)\n",
+                static_cast<unsigned long long>(
+                    sys->leaf_area()->allocated_pages()),
+                sys->leaf_area()->num_spaces());
+    std::printf("allocated bytes:  %llu\n",
+                static_cast<unsigned long long>(sys->AllocatedBytes()));
+    return 0;
+  }
+
+  return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -5,6 +5,9 @@
 //   --quick            shrink object size and op counts (CI smoke run)
 //   --object-mb=N      object size (default 10, as in the paper)
 //   --ops=N            operations for update-mix experiments (default 20000)
+//   --obs              print the per-operation I/O attribution ledger
+//                      (engine x op: count, seeks, pages, modeled ms) after
+//                      each configuration run, with a conservation check
 
 #ifndef LOB_BENCH_BENCH_COMMON_H_
 #define LOB_BENCH_BENCH_COMMON_H_
@@ -70,12 +73,53 @@ inline void PrintBanner(const char* title, const char* reproduces) {
   std::printf("================================================================\n");
 }
 
+/// Set by BenchArgs::Parse when --obs is given; RunMixFor then prints the
+/// per-operation attribution ledger after every configuration run.
+inline bool g_print_obs = false;
+
+/// Prints the per-operation I/O attribution ledger of `sys` (fed by the
+/// OpScope tags inside the managers) plus the conservation check against
+/// the global counters.
+inline void PrintOpAttribution(const std::string& title, StorageSystem* sys) {
+  const ObsRegistry* obs = sys->obs();
+  std::printf("-- per-op I/O attribution: %s\n", title.c_str());
+  std::printf("%-24s %10s %10s %10s %14s\n", "op", "count", "seeks", "pages",
+              "ms");
+  for (const auto& [label, rec] : obs->ops()) {
+    std::printf("%-24s %10llu %10llu %10llu %14.1f\n", label.c_str(),
+                static_cast<unsigned long long>(rec.count),
+                static_cast<unsigned long long>(rec.io.Seeks()),
+                static_cast<unsigned long long>(rec.io.PagesTransferred()),
+                rec.io.ms);
+  }
+  std::printf("conservation (sum attributed == global): %s\n",
+              obs->ConservationHolds(sys->stats()) ? "OK" : "VIOLATED");
+}
+
+/// Writes the registry's JSON and/or CSV export; empty paths are skipped.
+inline void ExportObs(StorageSystem* sys, const std::string& json_path,
+                      const std::string& csv_path) {
+  auto write = [](const std::string& path, const std::string& content) {
+    if (path.empty()) return;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+  };
+  write(json_path, sys->obs()->ToJson());
+  write(csv_path, sys->obs()->ToCsv());
+}
+
 /// Common command line handling.
 struct BenchArgs {
   uint64_t object_bytes = 10ull * 1024 * 1024;
   uint32_t ops = 20000;
   uint32_t window = 2000;
   bool quick = false;
+  bool obs = false;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -86,6 +130,8 @@ struct BenchArgs {
     args.ops = static_cast<uint32_t>(
         FlagValue(argc, argv, "ops", args.quick ? 2000 : 20000));
     args.window = std::max(1u, args.ops / 10);
+    args.obs = FlagPresent(argc, argv, "obs");
+    g_print_obs = args.obs;
     return args;
   }
 };
@@ -113,6 +159,7 @@ inline MixRun RunMixFor(const EngineSpec& spec, uint64_t object_bytes,
   mix.seed = 7 + mean_op;
   auto points = RunUpdateMix(&sys, mgr.get(), *id, mix);
   LOB_CHECK_OK(points.status());
+  if (g_print_obs) PrintOpAttribution(spec.label, &sys);
   MixRun run;
   run.points = *points;
   run.final_utilization = points->empty() ? 1.0

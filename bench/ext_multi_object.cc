@@ -63,14 +63,14 @@ int main(int argc, char** argv) {
         uint64_t n = std::min<uint64_t>(rng.Uniform(5000, 15000), size);
         if (n == 0) continue;
         LOB_CHECK_OK(m->Read(id, rng.Uniform(0, size - n), n, &buf));
-        read_ms += (sys.stats() - before).ms;
+        read_ms += IoStats::Delta(before, sys.stats()).ms;
         reads++;
       } else if (p < 0.7) {
         const uint64_t n = rng.Uniform(5000, 15000);
         Rng content(rng.Next());
         FillBytes(&content, n, &buf);
         LOB_CHECK_OK(m->Insert(id, rng.Uniform(0, size), buf));
-        insert_ms += (sys.stats() - before).ms;
+        insert_ms += IoStats::Delta(before, sys.stats()).ms;
         inserts++;
         last_insert = n;
         logical_bytes += n;

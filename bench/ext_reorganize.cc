@@ -24,7 +24,7 @@ double AvgReadMs(StorageSystem* sys, LargeObjectManager* mgr, ObjectId id,
     const uint64_t off = rng.Uniform(0, *size - n);
     LOB_CHECK_OK(mgr->Read(id, off, n, &buf));
   }
-  return (sys->stats() - before).ms / reads;
+  return IoStats::Delta(before, sys->stats()).ms / reads;
 }
 
 }  // namespace

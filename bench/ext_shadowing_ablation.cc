@@ -36,7 +36,7 @@ double ReplaceCost(uint32_t leaf_pages, bool shadowing) {
     const uint64_t off = rng.Uniform(0, object - patch.size());
     const IoStats before = sys.stats();
     LOB_CHECK_OK(mgr.Replace(*id, off, patch));
-    total += (sys.stats() - before).ms;
+    total += IoStats::Delta(before, sys.stats()).ms;
   }
   return total / ops;
 }

@@ -22,7 +22,7 @@ double AvgInsertMs(StorageSystem* sys, LargeObjectManager* mgr, ObjectId id,
     FillBytes(&content, n, &buf);
     const IoStats before = sys->stats();
     LOB_CHECK_OK(mgr->Insert(id, off, buf));
-    total += (sys->stats() - before).ms;
+    total += IoStats::Delta(before, sys->stats()).ms;
     LOB_CHECK_OK(mgr->Delete(id, off, n));
   }
   return total / ops;

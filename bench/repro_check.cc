@@ -215,7 +215,7 @@ int main(int argc, char** argv) {
       const uint64_t off = rng.Uniform(0, MB - 101);
       const IoStats before = sys.stats();
       LOB_CHECK_OK(mgr->Read(*id, off, 100, &buf));
-      read100 += (sys.stats() - before).ms;
+      read100 += IoStats::Delta(before, sys.stats()).ms;
     }
     read100 /= 200;
     Claim("T2.a", "Starburst 100B read ~37 ms (+/-10%)",
@@ -226,13 +226,13 @@ int main(int argc, char** argv) {
       const uint64_t off = rng.Uniform(0, MB - 1);
       IoStats before = sys.stats();
       LOB_CHECK_OK(mgr->Insert(*id, off, std::string(100, 'x')));
-      ins_small += (sys.stats() - before).ms;
+      ins_small += IoStats::Delta(before, sys.stats()).ms;
       before = sys.stats();
       LOB_CHECK_OK(mgr->Delete(*id, off, 100));
-      del_small += (sys.stats() - before).ms;
+      del_small += IoStats::Delta(before, sys.stats()).ms;
       before = sys.stats();
       LOB_CHECK_OK(mgr->Insert(*id, off, std::string(100000, 'x')));
-      ins_large += (sys.stats() - before).ms;
+      ins_large += IoStats::Delta(before, sys.stats()).ms;
       LOB_CHECK_OK(mgr->Delete(*id, off, 100000));
     }
     Claim("T3.a", "Starburst insert cost flat in operation size (+/-25%)",
@@ -271,7 +271,7 @@ int main(int argc, char** argv) {
         const IoStats before = sys.stats();
         LOB_CHECK_OK(mgr->Replace(
             *id, rng.Uniform(0, 2 * 1024 * 1024 - 101), patch));
-        total += (sys.stats() - before).ms;
+        total += IoStats::Delta(before, sys.stats()).ms;
       }
       return total / 30;
     };

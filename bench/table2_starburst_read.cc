@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
       const uint64_t off = rng.Uniform(0, args.object_bytes - n);
       const IoStats before = sys.stats();
       LOB_CHECK_OK(mgr->Read(*id, off, n, &buf));
-      total += (sys.stats() - before).ms;
+      total += IoStats::Delta(before, sys.stats()).ms;
     }
     std::printf("%18llu  %14.1f  %14.0f\n",
                 static_cast<unsigned long long>(mean), total / reads,

@@ -48,12 +48,12 @@ int main(int argc, char** argv) {
         FillBytes(&content, n, &buf);
         IoStats before = sys.stats();
         LOB_CHECK_OK(mgr.Insert(*id, off, buf));
-        insert_ms += (sys.stats() - before).ms;
+        insert_ms += IoStats::Delta(before, sys.stats()).ms;
         // Delete the same number of bytes (paper: delete size = size of
         // the immediately previous insert) to keep the object stable.
         before = sys.stats();
         LOB_CHECK_OK(mgr.Delete(*id, off, n));
-        delete_ms += (sys.stats() - before).ms;
+        delete_ms += IoStats::Delta(before, sys.stats()).ms;
       }
       std::printf("%12s  %12llu  %14.1f  %14.1f  %12s\n",
                   mode == UpdateCopyMode::kTailCopy ? "tail" : "full",

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configure a separate build tree with AddressSanitizer +
+# UndefinedBehaviorSanitizer (-DLOB_SANITIZE=ON) and run the full test
+# suite under it. Debug build so the LOB_CHECK underflow guards in
+# IoStats::operator- are active too.
+# Usage: scripts/check.sh [ctest-args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-sanitize -G Ninja \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DLOB_SANITIZE=ON
+cmake --build build-sanitize
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-sanitize --output-on-failure "$@"

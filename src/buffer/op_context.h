@@ -48,14 +48,29 @@ class OpContext {
   }
 
   /// Flushes every deferred range (one sequential I/O call per maximal
-  /// contiguous dirty run) and clears the context for reuse.
+  /// contiguous dirty run) and clears the context for reuse. On failure
+  /// the remaining ranges are still attempted (best-effort durability),
+  /// the first error is returned, and the context is cleared regardless:
+  /// a context reused after a failed operation must not re-flush stale
+  /// ranges or suppress legitimate shadowing of the next operation.
   Status Finish() {
+    Status first_error = Status::OK();
     for (const auto& d : deferred_) {
-      LOB_RETURN_IF_ERROR(pool_->FlushRun(d.area, d.first, d.pages));
+      Status s = pool_->FlushRun(d.area, d.first, d.pages);
+      if (!s.ok() && first_error.ok()) first_error = s;
     }
-    deferred_.clear();
-    shadowed_.clear();
-    return Status::OK();
+    Clear();
+    return first_error;
+  }
+
+  /// Abandons the operation: drops the deferred ranges and shadow marks
+  /// without writing anything. Call when an operation fails before its
+  /// end-of-operation flush so a reused context starts clean.
+  void Abort() { Clear(); }
+
+  /// True while ranges are scheduled or pages are marked shadowed.
+  bool has_pending() const {
+    return !deferred_.empty() || !shadowed_.empty();
   }
 
   BufferPool* pool() const { return pool_; }
@@ -69,6 +84,11 @@ class OpContext {
 
   static uint64_t Key(AreaId area, PageId page) {
     return (static_cast<uint64_t>(area) << 32) | page;
+  }
+
+  void Clear() {
+    deferred_.clear();
+    shadowed_.clear();
   }
 
   BufferPool* pool_;

@@ -1,6 +1,8 @@
-// Internal assertion macros. LOB_CHECK* abort with a diagnostic on invariant
-// violation; they guard programmer errors, not user input (user input is
-// validated with Status returns).
+// Internal assertion macros and diagnostics. LOB_CHECK* abort with a
+// diagnostic on invariant violation; they guard programmer errors, not user
+// input (user input is validated with Status returns). LOB_LOG_WARN emits a
+// non-fatal diagnostic to stderr for conditions that are survivable but
+// must not pass silently (e.g. a destructor swallowing a flush error).
 
 #ifndef LOB_COMMON_LOGGING_H_
 #define LOB_COMMON_LOGGING_H_
@@ -31,6 +33,11 @@ namespace lob::internal {
 #define LOB_CHECK_LE(a, b) LOB_CHECK((a) <= (b))
 #define LOB_CHECK_GT(a, b) LOB_CHECK((a) > (b))
 #define LOB_CHECK_GE(a, b) LOB_CHECK((a) >= (b))
+
+/// Non-fatal warning with source location; printf-style.
+#define LOB_LOG_WARN(fmt, ...)                                        \
+  std::fprintf(stderr, "[lob:warn] %s:%d: " fmt "\n", __FILE__,       \
+               __LINE__ __VA_OPT__(, ) __VA_ARGS__)
 
 #define LOB_CHECK_OK(expr)                                               \
   do {                                                                   \

@@ -14,7 +14,16 @@ ObjectWriter::ObjectWriter(LargeObjectManager* mgr, ObjectId id,
   staged_.reserve(chunk_bytes);
 }
 
-ObjectWriter::~ObjectWriter() { (void)Flush(); }
+ObjectWriter::~ObjectWriter() {
+  Status s = Flush();
+  if (!s.ok()) {
+    // A destructor cannot return the error; make the lost append loud and
+    // keep it queryable for anyone still holding a reference elsewhere.
+    LOB_LOG_WARN("ObjectWriter dropped %zu staged bytes for object %u: %s",
+                 staged_.size(), static_cast<unsigned>(id_),
+                 s.ToString().c_str());
+  }
+}
 
 Status ObjectWriter::Write(std::string_view data) {
   bytes_written_ += data.size();
@@ -24,7 +33,7 @@ Status ObjectWriter::Write(std::string_view data) {
     staged_.append(data.substr(0, take));
     data.remove_prefix(take);
     if (staged_.size() == chunk_bytes_) {
-      LOB_RETURN_IF_ERROR(mgr_->Append(id_, staged_));
+      LOB_RETURN_IF_ERROR(Note(mgr_->Append(id_, staged_)));
       staged_.clear();
     }
   }
@@ -33,7 +42,7 @@ Status ObjectWriter::Write(std::string_view data) {
 
 Status ObjectWriter::Flush() {
   if (staged_.empty()) return Status::OK();
-  Status s = mgr_->Append(id_, staged_);
+  Status s = Note(mgr_->Append(id_, staged_));
   if (s.ok()) staged_.clear();
   return s;
 }

@@ -27,8 +27,10 @@ class ObjectWriter {
   ObjectWriter(LargeObjectManager* mgr, ObjectId id,
                uint64_t chunk_bytes = 256 * 1024);
 
-  /// Flushes any staged bytes on destruction (errors are swallowed; call
-  /// Flush() explicitly to observe them).
+  /// Flushes any staged bytes on destruction. A failure here cannot be
+  /// returned, so it is recorded in last_status() and reported with a
+  /// LOB_LOG_WARN; call Flush() explicitly before destruction to handle
+  /// errors properly.
   ~ObjectWriter();
 
   ObjectWriter(const ObjectWriter&) = delete;
@@ -44,12 +46,25 @@ class ObjectWriter {
   /// Bytes accepted by Write so far (staged + appended).
   uint64_t bytes_written() const { return bytes_written_; }
 
+  /// Sticky status: the first Append failure observed by Write, Flush or
+  /// the destructor-of-a-previous-use. OK while nothing has failed. Lets
+  /// callers detect lost appends even when the failing flush happened in
+  /// a context that could not return a Status.
+  const Status& last_status() const { return last_status_; }
+
  private:
+  /// Records the first failure (later successes do not clear it).
+  Status Note(Status s) {
+    if (!s.ok() && last_status_.ok()) last_status_ = s;
+    return s;
+  }
+
   LargeObjectManager* mgr_;
   ObjectId id_;
   uint64_t chunk_bytes_;
   std::string staged_;
   uint64_t bytes_written_ = 0;
+  Status last_status_ = Status::OK();
 };
 
 /// Buffered sequential reader with a seekable cursor.

@@ -16,6 +16,8 @@
 #include "buffer/op_context.h"
 #include "common/config.h"
 #include "iomodel/sim_disk.h"
+#include "obs/obs_registry.h"
+#include "obs/op_scope.h"
 
 namespace lob {
 
@@ -29,6 +31,11 @@ class StorageSystem {
 
   SimDisk* disk() { return disk_.get(); }
   BufferPool* pool() { return pool_.get(); }
+
+  /// Metrics registry: named counters/histograms plus the per-operation
+  /// I/O attribution ledger fed by OpScope tags on the disk.
+  ObsRegistry* obs() { return obs_.get(); }
+  const ObsRegistry* obs() const { return obs_.get(); }
 
   /// Area for roots, index pages, descriptors ("everything else", 4.1).
   DatabaseArea* meta_area() { return meta_area_.get(); }
@@ -53,12 +60,20 @@ class StorageSystem {
   }
 
   /// RAII helper: restores the I/O counters on destruction so audits and
-  /// validation walks do not perturb measured costs.
+  /// validation walks do not perturb measured costs. Attribution is
+  /// suspended for the section's duration: the restored global stats and
+  /// the untouched per-op ledger stay consistent, preserving the
+  /// conservation invariant (sum of attributed stats == global stats).
   class UnmeteredSection {
    public:
     explicit UnmeteredSection(StorageSystem* sys)
-        : sys_(sys), saved_(sys->stats()) {}
-    ~UnmeteredSection() { sys_->disk()->SetStats(saved_); }
+        : sys_(sys), saved_(sys->stats()) {
+      sys_->disk()->SuspendAttribution();
+    }
+    ~UnmeteredSection() {
+      sys_->disk()->ResumeAttribution();
+      sys_->disk()->SetStats(saved_);
+    }
     UnmeteredSection(const UnmeteredSection&) = delete;
     UnmeteredSection& operator=(const UnmeteredSection&) = delete;
 
@@ -69,6 +84,7 @@ class StorageSystem {
 
  private:
   StorageConfig config_;
+  std::unique_ptr<ObsRegistry> obs_;
   std::unique_ptr<SimDisk> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<DatabaseArea> meta_area_;

@@ -22,13 +22,17 @@ EosManager::EosManager(StorageSystem* sys, const EosOptions& options)
 }
 
 StatusOr<ObjectId> EosManager::Create() {
+  OpScope obs_scope(sys_->disk(), "eos.create");
   auto id = tree_->CreateObject(static_cast<uint8_t>(Engine::kEos));
   if (!id.ok()) return id;
   LOB_RETURN_IF_ERROR(tree_->SetAux(*id, 0));
   return id;
 }
 
-StatusOr<uint64_t> EosManager::Size(ObjectId id) { return tree_->Size(id); }
+StatusOr<uint64_t> EosManager::Size(ObjectId id) {
+  OpScope obs_scope(sys_->disk(), "eos.size");
+  return tree_->Size(id);
+}
 
 Status EosManager::ReadLeaf(const PositionalTree::LeafInfo& leaf,
                             uint64_t off, uint64_t n, char* dst) {
@@ -56,6 +60,7 @@ StatusOr<PageId> EosManager::WriteNewSegment(std::string_view content,
 }
 
 Status EosManager::Destroy(ObjectId id) {
+  OpScope obs_scope(sys_->disk(), "eos.destroy");
   OpContext ctx(sys_->pool());
   LOB_RETURN_IF_ERROR(TrimLastSlack(id, &ctx));
   std::vector<std::pair<PageId, uint32_t>> segs;
@@ -72,6 +77,7 @@ Status EosManager::Destroy(ObjectId id) {
 
 Status EosManager::Read(ObjectId id, uint64_t offset, uint64_t n,
                         std::string* out) {
+  OpScope obs_scope(sys_->disk(), "eos.read");
   auto size = tree_->Size(id);
   if (!size.ok()) return size.status();
   if (offset + n > *size) return Status::OutOfRange("read past object end");
@@ -90,6 +96,7 @@ Status EosManager::Read(ObjectId id, uint64_t offset, uint64_t n,
 
 Status EosManager::Append(ObjectId id, std::string_view data) {
   if (data.empty()) return Status::OK();
+  OpScope obs_scope(sys_->disk(), "eos.append");
   OpContext ctx(sys_->pool());
   auto size = tree_->Size(id);
   if (!size.ok()) return size.status();
@@ -199,6 +206,7 @@ Status EosManager::InsertFreshSegments(ObjectId id, uint64_t at,
 Status EosManager::Insert(ObjectId id, uint64_t offset,
                           std::string_view data) {
   if (data.empty()) return Status::OK();
+  OpScope obs_scope(sys_->disk(), "eos.insert");
   auto size = tree_->Size(id);
   if (!size.ok()) return size.status();
   if (offset > *size) return Status::OutOfRange("insert past object end");
@@ -289,6 +297,7 @@ Status EosManager::Insert(ObjectId id, uint64_t offset,
 
 Status EosManager::Delete(ObjectId id, uint64_t offset, uint64_t n) {
   if (n == 0) return Status::OK();
+  OpScope obs_scope(sys_->disk(), "eos.delete");
   auto size = tree_->Size(id);
   if (!size.ok()) return size.status();
   if (offset + n > *size) return Status::OutOfRange("delete past object end");
@@ -546,6 +555,7 @@ Status EosManager::EnforceThreshold(ObjectId id, uint64_t lo, uint64_t hi,
 Status EosManager::Replace(ObjectId id, uint64_t offset,
                            std::string_view data) {
   if (data.empty()) return Status::OK();
+  OpScope obs_scope(sys_->disk(), "eos.replace");
   auto size = tree_->Size(id);
   if (!size.ok()) return size.status();
   if (offset + data.size() > *size) {
@@ -610,6 +620,7 @@ StatusOr<ObjectStorageStats> EosManager::GetStorageStats(ObjectId id) {
 }
 
 Status EosManager::Trim(ObjectId id) {
+  OpScope obs_scope(sys_->disk(), "eos.trim");
   OpContext ctx(sys_->pool());
   LOB_RETURN_IF_ERROR(TrimLastSlack(id, &ctx));
   return ctx.Finish();

@@ -59,10 +59,12 @@ EsmManager::EsmManager(StorageSystem* sys, const EsmOptions& options)
 }
 
 StatusOr<ObjectId> EsmManager::Create() {
+  OpScope obs_scope(sys_->disk(), "esm.create");
   return tree_->CreateObject(static_cast<uint8_t>(Engine::kEsm));
 }
 
 Status EsmManager::Destroy(ObjectId id) {
+  OpScope obs_scope(sys_->disk(), "esm.destroy");
   std::vector<PageId> leaves;
   LOB_RETURN_IF_ERROR(tree_->VisitLeaves(id, [&](const auto& leaf) {
     leaves.push_back(leaf.page);
@@ -72,7 +74,10 @@ Status EsmManager::Destroy(ObjectId id) {
   return tree_->DestroyObject(id);
 }
 
-StatusOr<uint64_t> EsmManager::Size(ObjectId id) { return tree_->Size(id); }
+StatusOr<uint64_t> EsmManager::Size(ObjectId id) {
+  OpScope obs_scope(sys_->disk(), "esm.size");
+  return tree_->Size(id);
+}
 
 Status EsmManager::ReadLeaf(PageId page, uint64_t bytes, uint64_t off,
                             uint64_t n, char* dst) {
@@ -99,6 +104,7 @@ Status EsmManager::FreeLeaf(PageId page) {
 
 Status EsmManager::Read(ObjectId id, uint64_t offset, uint64_t n,
                         std::string* out) {
+  OpScope obs_scope(sys_->disk(), "esm.read");
   auto size = tree_->Size(id);
   if (!size.ok()) return size.status();
   if (offset + n > *size) return Status::OutOfRange("read past object end");
@@ -197,6 +203,7 @@ Status EsmManager::AppendWithRedistribution(
 
 Status EsmManager::Append(ObjectId id, std::string_view data) {
   if (data.empty()) return Status::OK();
+  OpScope obs_scope(sys_->disk(), "esm.append");
   OpContext ctx(sys_->pool());
   auto size = tree_->Size(id);
   if (!size.ok()) return size.status();
@@ -246,6 +253,7 @@ Status EsmManager::RewriteLeaf(ObjectId id,
 Status EsmManager::Insert(ObjectId id, uint64_t offset,
                           std::string_view data) {
   if (data.empty()) return Status::OK();
+  OpScope obs_scope(sys_->disk(), "esm.insert");
   auto size = tree_->Size(id);
   if (!size.ok()) return size.status();
   if (offset > *size) return Status::OutOfRange("insert past object end");
@@ -349,6 +357,7 @@ Status EsmManager::Insert(ObjectId id, uint64_t offset,
 
 Status EsmManager::Delete(ObjectId id, uint64_t offset, uint64_t n) {
   if (n == 0) return Status::OK();
+  OpScope obs_scope(sys_->disk(), "esm.delete");
   auto size = tree_->Size(id);
   if (!size.ok()) return size.status();
   if (offset + n > *size) return Status::OutOfRange("delete past object end");
@@ -448,6 +457,7 @@ Status EsmManager::FixupUnderflow(ObjectId id, uint64_t offset,
 Status EsmManager::Replace(ObjectId id, uint64_t offset,
                            std::string_view data) {
   if (data.empty()) return Status::OK();
+  OpScope obs_scope(sys_->disk(), "esm.replace");
   auto size = tree_->Size(id);
   if (!size.ok()) return size.status();
   if (offset + data.size() > *size) {

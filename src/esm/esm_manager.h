@@ -65,6 +65,7 @@ class EsmManager : public LargeObjectManager {
       ObjectId id,
       const std::function<Status(uint64_t, uint32_t)>& fn) override;
   Status Trim(ObjectId id) override {
+    OpScope obs_scope(sys_->disk(), "esm.trim");
     return tree_->Size(id).status();  // fixed-size leaves: nothing to trim
   }
   Engine engine() const override { return Engine::kEsm; }

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/logging.h"
+
 namespace lob {
 
 /// Accumulated I/O counters. Value type; supports snapshot arithmetic.
@@ -35,13 +37,29 @@ struct IoStats {
     return *this;
   }
 
+  /// Snapshot subtraction. The counters are unsigned and snapshots are
+  /// monotone between resets, so subtracting in the wrong order silently
+  /// underflows; debug builds abort instead. Prefer Delta(before, after),
+  /// which names the order.
   friend IoStats operator-(IoStats a, const IoStats& b) {
+#ifndef NDEBUG
+    LOB_CHECK_GE(a.read_calls, b.read_calls);
+    LOB_CHECK_GE(a.write_calls, b.write_calls);
+    LOB_CHECK_GE(a.pages_read, b.pages_read);
+    LOB_CHECK_GE(a.pages_written, b.pages_written);
+#endif
     a.read_calls -= b.read_calls;
     a.write_calls -= b.write_calls;
     a.pages_read -= b.pages_read;
     a.pages_written -= b.pages_written;
     a.ms -= b.ms;
     return a;
+  }
+
+  /// I/O accumulated between two snapshots: `after - before`, with the
+  /// argument order made explicit (the counters underflow when swapped).
+  static IoStats Delta(const IoStats& before, const IoStats& after) {
+    return after - before;
   }
 
   friend IoStats operator+(IoStats a, const IoStats& b) {

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/obs_registry.h"
 
 namespace lob {
 
@@ -24,6 +25,29 @@ SimDisk::SimDisk(const StorageConfig& config) : config_(config) {
 AreaId SimDisk::CreateArea() {
   areas_.emplace_back();
   return static_cast<AreaId>(areas_.size() - 1);
+}
+
+void SimDisk::ResetStats() {
+  stats_ = IoStats();
+  if (obs_ != nullptr) obs_->ResetAttribution();
+}
+
+void SimDisk::AccountCall(bool is_read, uint32_t n_pages) {
+  IoStats call;
+  if (is_read) {
+    call.read_calls = 1;
+    call.pages_read = n_pages;
+  } else {
+    call.write_calls = 1;
+    call.pages_written = n_pages;
+  }
+  call.ms = config_.seek_ms + n_pages * config_.PageTransferMs();
+  stats_ += call;
+  if (obs_ != nullptr && attribution_suspended_ == 0) {
+    obs_->AttributeCall(
+        current_op_ != nullptr ? current_op_ : ObsRegistry::kUnattributed,
+        call);
+  }
 }
 
 Status SimDisk::CheckRange(AreaId area, PageId first, uint32_t n_pages) const {
@@ -70,9 +94,7 @@ Status SimDisk::Read(AreaId area, PageId first, uint32_t n_pages, void* dst) {
     }
     out += config_.page_size;
   }
-  stats_.read_calls += 1;
-  stats_.pages_read += n_pages;
-  stats_.ms += config_.seek_ms + n_pages * config_.PageTransferMs();
+  AccountCall(/*is_read=*/true, n_pages);
   return Status::OK();
 }
 
@@ -90,9 +112,7 @@ Status SimDisk::Write(AreaId area, PageId first, uint32_t n_pages,
     std::memcpy(dst, in, config_.page_size);
     in += config_.page_size;
   }
-  stats_.write_calls += 1;
-  stats_.pages_written += n_pages;
-  stats_.ms += config_.seek_ms + n_pages * config_.PageTransferMs();
+  AccountCall(/*is_read=*/false, n_pages);
   return Status::OK();
 }
 

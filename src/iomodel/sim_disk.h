@@ -25,6 +25,8 @@
 
 namespace lob {
 
+class ObsRegistry;
+
 /// Identifies a database area (the paper uses two: one for leaf segments,
 /// one for everything else).
 using AreaId = uint32_t;
@@ -59,7 +61,11 @@ class SimDisk {
 
   /// Accumulated I/O counters since construction or the last ResetStats().
   const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats(); }
+
+  /// Zeroes the global counters. The attached registry's attribution
+  /// ledger (if any) is reset with them so the conservation invariant
+  /// "sum of attributed stats == global stats" keeps holding.
+  void ResetStats();
 
   /// Restores a previously captured snapshot. Lets experiment harnesses run
   /// bookkeeping I/O (validation walks, audits) without perturbing the
@@ -83,6 +89,26 @@ class SimDisk {
   /// Status through every layer instead of crashing or corrupting state.
   void InjectFailureAfter(int64_t calls) { fail_after_ = calls; }
 
+  // ---- Per-operation attribution (see obs/obs_registry.h) ----
+
+  /// Attaches a metrics registry; every subsequent metered call is charged
+  /// to the current operation label (or ObsRegistry::kUnattributed).
+  /// Pass nullptr to detach. The registry must outlive the disk.
+  void set_obs(ObsRegistry* obs) { obs_ = obs; }
+  ObsRegistry* obs() const { return obs_; }
+
+  /// Current logical-operation label; managed by OpScope (nullptr when no
+  /// operation is active).
+  const char* current_op() const { return current_op_; }
+  void set_current_op(const char* label) { current_op_ = label; }
+
+  /// Re-entrant attribution suspension. While suspended, calls are metered
+  /// into the global stats but not charged to any label; used by
+  /// StorageSystem::UnmeteredSection, which restores the global stats on
+  /// exit — so conservation is preserved on both sides of the section.
+  void SuspendAttribution() { ++attribution_suspended_; }
+  void ResumeAttribution() { --attribution_suspended_; }
+
  private:
   struct Area {
     // Lazily allocated page images; a null entry reads as zeros.
@@ -92,10 +118,17 @@ class SimDisk {
   Status CheckRange(AreaId area, PageId first, uint32_t n_pages) const;
   char* PageData(Area& area, PageId page, bool create);
 
+  /// Meters one successful call: accumulates into the global stats and
+  /// charges the current operation in the attached registry.
+  void AccountCall(bool is_read, uint32_t n_pages);
+
   StorageConfig config_;
   std::vector<Area> areas_;
   IoStats stats_;
   int64_t fail_after_ = -1;  ///< <0: disabled; 0: failing; >0: countdown
+  ObsRegistry* obs_ = nullptr;
+  const char* current_op_ = nullptr;
+  uint32_t attribution_suspended_ = 0;
 };
 
 }  // namespace lob

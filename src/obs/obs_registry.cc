@@ -1,0 +1,154 @@
+#include "obs/obs_registry.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace lob {
+
+namespace {
+
+/// Escapes a string for inclusion in JSON (labels are plain ASCII today;
+/// quotes and backslashes are escaped defensively).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out->append(buf);
+}
+
+}  // namespace
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketIndex(value)]++;
+  count_++;
+  sum_ += static_cast<double>(value);
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  int i = 1;
+  while (value > 1 && i < kBuckets - 1) {
+    value >>= 1;
+    ++i;
+  }
+  return i;
+}
+
+uint64_t Histogram::BucketLowerBound(int i) {
+  if (i <= 0) return 0;
+  return uint64_t{1} << (i - 1);
+}
+
+void ObsRegistry::RecordOpEnd(const char* label, const IoStats& op_delta) {
+  ops_[label].count++;
+  const std::string base(label);
+  Histo(base + ".ms").Add(
+      static_cast<uint64_t>(std::llround(op_delta.ms < 0 ? 0 : op_delta.ms)));
+  Histo(base + ".seeks").Add(op_delta.Seeks());
+  Histo(base + ".pages").Add(op_delta.PagesTransferred());
+}
+
+IoStats ObsRegistry::AttributedTotal() const {
+  IoStats total;
+  for (const auto& [label, rec] : ops_) total += rec.io;
+  return total;
+}
+
+bool ObsRegistry::ConservationHolds(const IoStats& global) const {
+  const IoStats sum = AttributedTotal();
+  return sum.read_calls == global.read_calls &&
+         sum.write_calls == global.write_calls &&
+         sum.pages_read == global.pages_read &&
+         sum.pages_written == global.pages_written &&
+         std::fabs(sum.ms - global.ms) < 1e-6 * (1.0 + std::fabs(global.ms));
+}
+
+void ObsRegistry::Reset() {
+  ops_.clear();
+  counters_.clear();
+  histograms_.clear();
+}
+
+std::string ObsRegistry::ToJson() const {
+  std::string out = "{\n  \"ops\": {";
+  bool first = true;
+  for (const auto& [label, rec] : ops_) {
+    AppendF(&out,
+            "%s\n    \"%s\": {\"count\": %llu, \"read_calls\": %llu, "
+            "\"write_calls\": %llu, \"pages_read\": %llu, "
+            "\"pages_written\": %llu, \"ms\": %.3f}",
+            first ? "" : ",", JsonEscape(label).c_str(),
+            static_cast<unsigned long long>(rec.count),
+            static_cast<unsigned long long>(rec.io.read_calls),
+            static_cast<unsigned long long>(rec.io.write_calls),
+            static_cast<unsigned long long>(rec.io.pages_read),
+            static_cast<unsigned long long>(rec.io.pages_written),
+            rec.io.ms);
+    first = false;
+  }
+  out += "\n  },\n  \"counters\": {";
+  first = true;
+  for (const auto& [name, value] : counters_) {
+    AppendF(&out, "%s\n    \"%s\": %llu", first ? "" : ",",
+            JsonEscape(name).c_str(), static_cast<unsigned long long>(value));
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    AppendF(&out,
+            "%s\n    \"%s\": {\"count\": %llu, \"sum\": %.1f, "
+            "\"min\": %llu, \"max\": %llu, \"buckets\": [",
+            first ? "" : ",", JsonEscape(name).c_str(),
+            static_cast<unsigned long long>(h.count()), h.sum(),
+            static_cast<unsigned long long>(h.min()),
+            static_cast<unsigned long long>(h.max()));
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.bucket(i) == 0) continue;
+      AppendF(&out, "%s[%llu, %llu]", first_bucket ? "" : ", ",
+              static_cast<unsigned long long>(Histogram::BucketLowerBound(i)),
+              static_cast<unsigned long long>(h.bucket(i)));
+      first_bucket = false;
+    }
+    out += "]}";
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string ObsRegistry::ToCsv() const {
+  std::string out =
+      "op,count,read_calls,write_calls,pages_read,pages_written,seeks,pages,"
+      "ms\n";
+  for (const auto& [label, rec] : ops_) {
+    AppendF(&out, "%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.3f\n",
+            label.c_str(), static_cast<unsigned long long>(rec.count),
+            static_cast<unsigned long long>(rec.io.read_calls),
+            static_cast<unsigned long long>(rec.io.write_calls),
+            static_cast<unsigned long long>(rec.io.pages_read),
+            static_cast<unsigned long long>(rec.io.pages_written),
+            static_cast<unsigned long long>(rec.io.Seeks()),
+            static_cast<unsigned long long>(rec.io.PagesTransferred()),
+            rec.io.ms);
+  }
+  return out;
+}
+
+}  // namespace lob

@@ -1,0 +1,131 @@
+// ObsRegistry: per-operation I/O attribution and general-purpose metrics.
+//
+// The paper's methodology is per-operation modeled I/O cost (one 33 ms seek
+// per I/O call plus 4 ms per 4K page, 4.1). The registry turns that from a
+// hand-subtracted global counter into an attributed ledger: an OpScope (see
+// op_scope.h) tags the current logical operation ("esm.append",
+// "eos.insert", ...) on the SimDisk, and every metered Read/Write call is
+// charged to exactly one operation label. I/O issued outside any scope is
+// charged to kUnattributed, so the conservation invariant
+//
+//   sum over labels of attributed IoStats == SimDisk global IoStats
+//
+// holds at every point outside an UnmeteredSection (tests/obs_test.cc
+// enforces it across a mixed workload for all three engines).
+//
+// Besides attribution the registry keeps named monotonic counters and
+// log2-bucketed histograms (per-op modeled ms, seeks and pages transferred
+// are recorded by OpScope), and exports everything as JSON or CSV for the
+// bench harness and `lobtool stats`.
+
+#ifndef LOB_OBS_OBS_REGISTRY_H_
+#define LOB_OBS_OBS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "iomodel/io_stats.h"
+
+namespace lob {
+
+/// Power-of-two bucketed histogram of non-negative integer samples.
+/// Bucket 0 holds value 0; bucket i >= 1 holds values in [2^(i-1), 2^i).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 34;  // 0 plus exponents up to 2^32 and over
+
+  void Add(uint64_t value);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  uint64_t bucket(int i) const { return buckets_[i]; }
+
+  /// Bucket a value falls into.
+  static int BucketIndex(uint64_t value);
+
+  /// Smallest value belonging to bucket `i`.
+  static uint64_t BucketLowerBound(int i);
+
+ private:
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+/// Named counters, histograms and the per-operation I/O ledger.
+class ObsRegistry {
+ public:
+  /// Label charged for I/O issued outside any OpScope.
+  static constexpr const char* kUnattributed = "(unattributed)";
+
+  /// Attribution ledger entry for one operation label.
+  struct OpRecord {
+    uint64_t count = 0;  ///< finished operations (OpScope destructions)
+    IoStats io;          ///< I/O charged to the label by SimDisk
+  };
+
+  /// Named monotonic counter (created on first use).
+  uint64_t& Counter(const std::string& name) { return counters_[name]; }
+
+  /// Named histogram (created on first use).
+  Histogram& Histo(const std::string& name) { return histograms_[name]; }
+
+  /// Charges one metered I/O call to `label`. Called by SimDisk.
+  void AttributeCall(const char* label, const IoStats& call) {
+    ops_[label].io += call;
+  }
+
+  /// Records the end of one operation: bumps the label's count and feeds
+  /// the per-op histograms (<label>.ms / .seeks / .pages). `op_delta` is
+  /// the global-IoStats delta across the operation (nested scopes
+  /// included). Called by OpScope.
+  void RecordOpEnd(const char* label, const IoStats& op_delta);
+
+  const std::map<std::string, OpRecord>& ops() const { return ops_; }
+  const std::map<std::string, uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Sum of attributed I/O over every label (the conservation invariant
+  /// compares this against the SimDisk global stats).
+  IoStats AttributedTotal() const;
+
+  /// True when the attributed total matches `global` exactly (counters) and
+  /// within rounding (modeled ms).
+  bool ConservationHolds(const IoStats& global) const;
+
+  /// Drops the attribution ledger only (SimDisk::ResetStats calls this so
+  /// the conservation invariant survives stats resets). Counters and
+  /// histograms are kept: they are observability, not conservation state.
+  void ResetAttribution() { ops_.clear(); }
+
+  /// Drops everything.
+  void Reset();
+
+  /// Exports ops, counters and histograms as a JSON object.
+  std::string ToJson() const;
+
+  /// Exports the per-op ledger as CSV
+  /// (label,count,read_calls,write_calls,pages_read,pages_written,seeks,pages,ms).
+  std::string ToCsv() const;
+
+ private:
+  std::map<std::string, OpRecord> ops_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace lob
+
+#endif  // LOB_OBS_OBS_REGISTRY_H_

@@ -1,0 +1,57 @@
+// OpScope: RAII tag for per-operation I/O attribution.
+//
+// A manager entry point constructs an OpScope naming the logical operation
+// ("<engine>.<op>", e.g. "esm.append"). While the scope is alive, every
+// metered SimDisk Read/Write call — including buffer pool misses,
+// evictions and the deferred end-of-operation flushes issued through
+// OpContext::Finish — is charged to that label in the disk's ObsRegistry.
+// On destruction the scope records the operation's total modeled ms, seeks
+// and pages transferred into the registry's log2 histograms.
+//
+// Scopes nest: an inner scope (e.g. Insert delegating to Append at the end
+// of the object) takes over attribution for its duration, so every I/O
+// call is charged to exactly one — the innermost — operation, and the
+// conservation invariant (sum of attributed stats == global stats) holds
+// regardless of nesting. The outer scope's histograms still cover the full
+// operation, nested work included.
+
+#ifndef LOB_OBS_OP_SCOPE_H_
+#define LOB_OBS_OP_SCOPE_H_
+
+#include "iomodel/sim_disk.h"
+#include "obs/obs_registry.h"
+
+namespace lob {
+
+/// Tags `disk`'s current operation for the lifetime of the scope.
+class OpScope {
+ public:
+  /// `label` must outlive the scope; use string literals.
+  OpScope(SimDisk* disk, const char* label)
+      : disk_(disk),
+        label_(label),
+        prev_(disk->current_op()),
+        start_(disk->stats()) {
+    disk_->set_current_op(label_);
+  }
+
+  ~OpScope() {
+    disk_->set_current_op(prev_);
+    ObsRegistry* obs = disk_->obs();
+    if (obs == nullptr) return;
+    obs->RecordOpEnd(label_, IoStats::Delta(start_, disk_->stats()));
+  }
+
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+ private:
+  SimDisk* disk_;
+  const char* label_;
+  const char* prev_;
+  IoStats start_;
+};
+
+}  // namespace lob
+
+#endif  // LOB_OBS_OP_SCOPE_H_

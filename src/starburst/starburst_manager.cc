@@ -40,6 +40,7 @@ uint32_t StarburstManager::PatternPages(uint32_t first_pages,
 }
 
 StatusOr<ObjectId> StarburstManager::Create() {
+  OpScope obs_scope(sys_->disk(), "starburst.create");
   auto seg = sys_->meta_area()->Allocate(1);
   if (!seg.ok()) return seg.status();
   auto g = sys_->pool()->FixPage(sys_->meta_area()->id(), seg->first_page,
@@ -140,6 +141,7 @@ Status StarburstManager::ReadRange(const std::vector<SegInfo>& map,
 
 Status StarburstManager::Read(ObjectId id, uint64_t offset, uint64_t n,
                               std::string* out) {
+  OpScope obs_scope(sys_->disk(), "starburst.read");
   auto d = Load(id);
   if (!d.ok()) return d.status();
   if (offset + n > d->used_bytes) {
@@ -242,6 +244,7 @@ Status StarburstManager::AppendLocked(ObjectId id, Descriptor* d,
 
 Status StarburstManager::Append(ObjectId id, std::string_view data) {
   if (data.empty()) return Status::OK();
+  OpScope obs_scope(sys_->disk(), "starburst.append");
   auto d = Load(id);
   if (!d.ok()) return d.status();
   OpContext ctx(sys_->pool());
@@ -360,6 +363,7 @@ Status StarburstManager::SpliceBytes(ObjectId id, uint64_t offset,
 Status StarburstManager::Insert(ObjectId id, uint64_t offset,
                                 std::string_view data) {
   if (data.empty()) return Status::OK();
+  OpScope obs_scope(sys_->disk(), "starburst.insert");
   auto d = Load(id);
   if (!d.ok()) return d.status();
   if (offset > d->used_bytes) {
@@ -371,12 +375,14 @@ Status StarburstManager::Insert(ObjectId id, uint64_t offset,
 
 Status StarburstManager::Delete(ObjectId id, uint64_t offset, uint64_t n) {
   if (n == 0) return Status::OK();
+  OpScope obs_scope(sys_->disk(), "starburst.delete");
   return SpliceBytes(id, offset, {}, n);
 }
 
 Status StarburstManager::Replace(ObjectId id, uint64_t offset,
                                  std::string_view data) {
   if (data.empty()) return Status::OK();
+  OpScope obs_scope(sys_->disk(), "starburst.replace");
   auto d = Load(id);
   if (!d.ok()) return d.status();
   if (offset + data.size() > d->used_bytes) {
@@ -431,12 +437,14 @@ Status StarburstManager::Replace(ObjectId id, uint64_t offset,
 }
 
 StatusOr<uint64_t> StarburstManager::Size(ObjectId id) {
+  OpScope obs_scope(sys_->disk(), "starburst.size");
   auto d = Load(id);
   if (!d.ok()) return d.status();
   return static_cast<uint64_t>(d->used_bytes);
 }
 
 Status StarburstManager::Destroy(ObjectId id) {
+  OpScope obs_scope(sys_->disk(), "starburst.destroy");
   auto d = Load(id);
   if (!d.ok()) return d.status();
   for (const SegInfo& seg : MapSegments(*d)) {
@@ -449,6 +457,7 @@ Status StarburstManager::Destroy(ObjectId id) {
 }
 
 Status StarburstManager::TrimLast(ObjectId id) {
+  OpScope obs_scope(sys_->disk(), "starburst.trim");
   auto d = Load(id);
   if (!d.ok()) return d.status();
   if (d->ptrs.empty()) return Status::OK();

@@ -33,7 +33,7 @@ StatusOr<IoStats> CompactObject(StorageSystem* sys, LargeObjectManager* mgr,
   }
   // Release the growth slack of the rebuilt last segment.
   LOB_RETURN_IF_ERROR(mgr->Trim(id));
-  return sys->stats() - before;
+  return IoStats::Delta(before, sys->stats());
 }
 
 StatusOr<std::map<uint32_t, uint32_t>> SegmentHistogram(

@@ -140,7 +140,7 @@ StatusOr<IoStats> ApplyTrace(StorageSystem* sys, LargeObjectManager* mgr,
                                   ") failed: " + s.message());
     }
   }
-  return sys->stats() - before;
+  return IoStats::Delta(before, sys->stats());
 }
 
 std::string ExpectedContent(const Trace& trace) {

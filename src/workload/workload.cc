@@ -35,7 +35,7 @@ StatusOr<PhaseResult> BuildObject(StorageSystem* sys, LargeObjectManager* mgr,
     LOB_RETURN_IF_ERROR(mgr->Append(id, chunk));
     written += take;
   }
-  return PhaseResult{sys->stats() - before};
+  return PhaseResult{IoStats::Delta(before, sys->stats())};
 }
 
 StatusOr<PhaseResult> SequentialScan(StorageSystem* sys,
@@ -52,7 +52,7 @@ StatusOr<PhaseResult> SequentialScan(StorageSystem* sys,
     LOB_RETURN_IF_ERROR(mgr->Read(id, done, take, &buf));
     done += take;
   }
-  return PhaseResult{sys->stats() - before};
+  return PhaseResult{IoStats::Delta(before, sys->stats())};
 }
 
 StatusOr<double> CurrentUtilization(StorageSystem* sys,
@@ -92,7 +92,7 @@ StatusOr<std::vector<MixPoint>> RunUpdateMix(StorageSystem* sys,
       const uint64_t off = size > n ? rng.Uniform(0, size - n) : 0;
       LOB_RETURN_IF_ERROR(mgr->Read(id, off, n, &buf));
       window.reads++;
-      window_read_ms += (sys->stats() - before).ms;
+      window_read_ms += IoStats::Delta(before, sys->stats()).ms;
     } else if (p < spec.read_frac + spec.insert_frac) {
       const uint64_t n = rng.Uniform(spec.mean_op_bytes / 2,
                                      spec.mean_op_bytes * 3 / 2);
@@ -101,14 +101,14 @@ StatusOr<std::vector<MixPoint>> RunUpdateMix(StorageSystem* sys,
       LOB_RETURN_IF_ERROR(mgr->Insert(id, off, buf));
       last_insert_size = n;
       window.inserts++;
-      window_insert_ms += (sys->stats() - before).ms;
+      window_insert_ms += IoStats::Delta(before, sys->stats()).ms;
     } else {
       uint64_t n = std::min(last_insert_size, size);
       if (n > 0) {
         const uint64_t off = rng.Uniform(0, size - n);
         LOB_RETURN_IF_ERROR(mgr->Delete(id, off, n));
         window.deletes++;
-        window_delete_ms += (sys->stats() - before).ms;
+        window_delete_ms += IoStats::Delta(before, sys->stats()).ms;
       }
     }
     if (op % spec.window_ops == 0 || op == spec.total_ops) {

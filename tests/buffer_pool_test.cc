@@ -329,6 +329,56 @@ TEST_F(BufferPoolTest, WriteFreshSegmentIsOneCallAndCoherent) {
   EXPECT_EQ(page[4095], 0);
 }
 
+TEST_F(BufferPoolTest, FlushRunInterleavedCleanAndEvictedPages) {
+  // dirty 0,1 | clean cached 2 | dirty 3,4 | uncached 5 | dirty 6:
+  // FlushRun over [0,7) must issue exactly three sequential calls covering
+  // the three maximal dirty runs and skip the clean/uncached holes.
+  for (PageId p : {0u, 1u, 3u, 4u, 6u}) {
+    auto g = pool_.FixPage(area_, p, FixMode::kNew);
+    ASSERT_TRUE(g.ok());
+    g->data()[0] = static_cast<char>('a' + p);
+    g->MarkDirty();
+  }
+  {
+    auto g = pool_.FixPage(area_, 2, FixMode::kNew);
+    ASSERT_TRUE(g.ok());
+    g->data()[0] = 'c';
+    g->MarkDirty();
+  }
+  ASSERT_TRUE(pool_.FlushRun(area_, 2, 1).ok());  // page 2 now clean, cached
+  ASSERT_TRUE(pool_.IsCached(area_, 2));
+  ASSERT_FALSE(pool_.IsDirty(area_, 2));
+  ASSERT_FALSE(pool_.IsCached(area_, 5));
+  disk_.ResetStats();
+
+  ASSERT_TRUE(pool_.FlushRun(area_, 0, 7).ok());
+  EXPECT_EQ(disk_.stats().write_calls, 3u)
+      << "runs {0,1}, {3,4}, {6} -> three seeks";
+  EXPECT_EQ(disk_.stats().pages_written, 5u);
+  for (PageId p : {0u, 1u, 3u, 4u, 6u}) {
+    EXPECT_FALSE(pool_.IsDirty(area_, p)) << "page " << p;
+    std::vector<char> buf(4096);
+    ASSERT_TRUE(disk_.Read(area_, p, 1, buf.data()).ok());
+    EXPECT_EQ(buf[0], static_cast<char>('a' + p)) << "page " << p;
+  }
+  // A second FlushRun over the same range finds everything clean.
+  disk_.ResetStats();
+  ASSERT_TRUE(pool_.FlushRun(area_, 0, 7).ok());
+  EXPECT_EQ(disk_.stats().write_calls, 0u);
+}
+
+TEST_F(BufferPoolTest, FlushRunAllCleanOrUncachedWritesNothing) {
+  Seed(30, 2);
+  {
+    auto g = pool_.FixPage(area_, 30, FixMode::kRead);
+    ASSERT_TRUE(g.ok());
+  }
+  disk_.ResetStats();
+  ASSERT_TRUE(pool_.FlushRun(area_, 28, 6).ok());
+  EXPECT_EQ(disk_.stats().write_calls, 0u)
+      << "clean cached and uncached pages alike cost nothing";
+}
+
 // Property: random reads/writes through the pool match a byte-array model.
 TEST_F(BufferPoolTest, RandomOpsMatchReferenceModel) {
   const uint64_t kSegPages = 16;

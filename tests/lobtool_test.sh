@@ -38,6 +38,13 @@ printf 'BIG ' > "$DIR/ins.txt"
 "$LOBTOOL" "$DB" stat pic | grep -q 'engine: *Starburst' || fail "stat"
 "$LOBTOOL" "$DB" info | grep -q 'objects: *3' || fail "info"
 
+# stats: per-op attribution ledger. A named scan must produce attributed
+# eos.read rows and the conservation invariant must hold.
+"$LOBTOOL" "$DB" stats | grep -q 'conservation: OK' || fail "stats conservation"
+"$LOBTOOL" "$DB" stats doc | grep -q '^eos.read' || fail "stats attributed read"
+"$LOBTOOL" "$DB" stats doc json | grep -q '"eos.read"' || fail "stats json"
+"$LOBTOOL" "$DB" stats doc csv | grep -q '^eos.read,' || fail "stats csv"
+
 "$LOBTOOL" "$DB" rm idx >/dev/null || fail "rm"
 "$LOBTOOL" "$DB" info | grep -q 'objects: *2' || fail "info after rm"
 

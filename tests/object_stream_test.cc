@@ -130,6 +130,40 @@ TEST_P(ObjectStreamTest, SequentialChunksShareBufferedIo) {
   EXPECT_LE(sys_.stats().read_calls, 20u) << sys_.stats().ToString();
 }
 
+TEST_P(ObjectStreamTest, WriterLastStatusIsStickyAcrossFailedFlush) {
+  ObjectWriter writer(mgr_.get(), id_, /*chunk_bytes=*/64 * 1024);
+  EXPECT_TRUE(writer.last_status().ok());
+  const std::string piece = Pattern(6, 5000);
+  ASSERT_TRUE(writer.Write(piece).ok()) << "stays staged, no I/O yet";
+
+  sys_.disk()->InjectFailureAfter(0);
+  Status failed = writer.Flush();
+  EXPECT_FALSE(failed.ok()) << "injected failure must propagate";
+  EXPECT_FALSE(writer.last_status().ok())
+      << "the failure must be recorded, not just returned";
+  sys_.disk()->InjectFailureAfter(-1);
+
+  // The staged bytes were not lost: a retry lands them.
+  ASSERT_TRUE(writer.Flush().ok());
+  EXPECT_FALSE(writer.last_status().ok())
+      << "last_status is sticky: later successes do not clear the record";
+  std::string got;
+  ASSERT_TRUE(mgr_->Read(id_, 0, piece.size(), &got).ok());
+  EXPECT_EQ(got, piece);
+}
+
+TEST_P(ObjectStreamTest, WriterRecordsFailureFromWriteTriggeredAppend) {
+  // A Write large enough to fill the staging buffer triggers an Append
+  // inside Write itself; an I/O failure there must surface both as the
+  // returned Status and in last_status.
+  ObjectWriter writer(mgr_.get(), id_, /*chunk_bytes=*/8 * 1024);
+  sys_.disk()->InjectFailureAfter(0);
+  Status s = writer.Write(Pattern(7, 16 * 1024));
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(writer.last_status().ok());
+  sys_.disk()->InjectFailureAfter(-1);
+}
+
 std::string EngineName3(const ::testing::TestParamInfo<int>& param_info) {
   return param_info.param == 0   ? "Esm"
          : param_info.param == 1 ? "Starburst"

@@ -1,0 +1,326 @@
+// Tests for the observability layer: histogram bucketing, the per-operation
+// attribution ledger, and — the load-bearing property — the conservation
+// invariant: the sum of per-operation attributed IoStats equals the SimDisk
+// global IoStats across a mixed workload, for all three engines.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "core/factory.h"
+#include "core/storage_system.h"
+#include "obs/obs_registry.h"
+#include "obs/op_scope.h"
+
+namespace lob {
+namespace {
+
+std::string Pattern(uint64_t seed, size_t n) {
+  std::string out(n, '\0');
+  Rng rng(seed);
+  for (auto& c : out) c = static_cast<char>('a' + rng.Uniform(0, 25));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(HistogramTest, BucketIndexIsLogTwo) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+  // Everything at or above 2^32 lands in the last bucket.
+  EXPECT_EQ(Histogram::BucketIndex(1ull << 32), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), Histogram::kBuckets - 1);
+}
+
+TEST(HistogramTest, BucketBoundsRoundTrip) {
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(2), 2u);
+  EXPECT_EQ(Histogram::BucketLowerBound(3), 4u);
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerBound(i)), i)
+        << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, SummaryStatistics) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  for (uint64_t v : {5u, 0u, 1000u, 3u}) h.Add(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1008.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 252.0);
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(0)), 1u);
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(5)), 1u);
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(1000)), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry basics
+
+TEST(ObsRegistryTest, CountersAndHistosCreatedOnFirstUse) {
+  ObsRegistry obs;
+  obs.Counter("x") += 3;
+  obs.Counter("x") += 2;
+  obs.Histo("h").Add(16);
+  EXPECT_EQ(obs.counters().at("x"), 5u);
+  EXPECT_EQ(obs.histograms().at("h").count(), 1u);
+  obs.Reset();
+  EXPECT_TRUE(obs.counters().empty());
+  EXPECT_TRUE(obs.histograms().empty());
+  EXPECT_TRUE(obs.ops().empty());
+}
+
+TEST(ObsRegistryTest, AttributionLedgerAccumulatesPerLabel) {
+  ObsRegistry obs;
+  IoStats call;
+  call.read_calls = 1;
+  call.pages_read = 4;
+  call.ms = 49.0;
+  obs.AttributeCall("a.read", call);
+  obs.AttributeCall("a.read", call);
+  obs.AttributeCall("b.write", call);
+  EXPECT_EQ(obs.ops().at("a.read").io.read_calls, 2u);
+  EXPECT_EQ(obs.ops().at("a.read").io.pages_read, 8u);
+  EXPECT_EQ(obs.ops().at("b.write").io.read_calls, 1u);
+  IoStats total = obs.AttributedTotal();
+  EXPECT_EQ(total.read_calls, 3u);
+  EXPECT_EQ(total.pages_read, 12u);
+  EXPECT_TRUE(obs.ConservationHolds(total));
+  IoStats off = total;
+  off.read_calls += 1;
+  EXPECT_FALSE(obs.ConservationHolds(off));
+}
+
+TEST(ObsRegistryTest, RecordOpEndFeedsHistograms) {
+  ObsRegistry obs;
+  IoStats delta;
+  delta.read_calls = 2;
+  delta.write_calls = 1;
+  delta.pages_read = 5;
+  delta.pages_written = 3;
+  delta.ms = 131.0;
+  obs.RecordOpEnd("esm.append", delta);
+  EXPECT_EQ(obs.ops().at("esm.append").count, 1u);
+  EXPECT_EQ(obs.histograms().at("esm.append.ms").count(), 1u);
+  EXPECT_EQ(obs.histograms().at("esm.append.seeks").max(), 3u);
+  EXPECT_EQ(obs.histograms().at("esm.append.pages").max(), 8u);
+}
+
+TEST(ObsRegistryTest, JsonAndCsvExportShape) {
+  ObsRegistry obs;
+  IoStats call;
+  call.write_calls = 1;
+  call.pages_written = 2;
+  call.ms = 41.0;
+  obs.AttributeCall("eos.append", call);
+  obs.RecordOpEnd("eos.append", call);
+  obs.Counter("objects_created") = 7;
+  const std::string json = obs.ToJson();
+  EXPECT_NE(json.find("\"ops\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"eos.append\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"objects_created\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
+  const std::string csv = obs.ToCsv();
+  EXPECT_EQ(csv.find("op,count,read_calls,write_calls,pages_read,"
+                     "pages_written,seeks,pages,ms"),
+            0u)
+      << csv;
+  EXPECT_NE(csv.find("eos.append,1,0,1,0,2,"), std::string::npos) << csv;
+}
+
+// ---------------------------------------------------------------------------
+// OpScope wiring on a bare disk
+
+TEST(OpScopeTest, NestedScopesChargeInnermostLabel) {
+  StorageConfig cfg;
+  ObsRegistry obs;
+  SimDisk disk(cfg);
+  disk.set_obs(&obs);
+  const AreaId area = disk.CreateArea();
+  std::string page(cfg.page_size, 'x');
+  {
+    OpScope outer(&disk, "outer");
+    ASSERT_TRUE(disk.Write(area, 0, 1, page.data()).ok());
+    {
+      OpScope inner(&disk, "inner");
+      ASSERT_TRUE(disk.Write(area, 1, 1, page.data()).ok());
+    }
+    ASSERT_TRUE(disk.Write(area, 2, 1, page.data()).ok());
+  }
+  EXPECT_EQ(obs.ops().at("outer").io.write_calls, 2u);
+  EXPECT_EQ(obs.ops().at("inner").io.write_calls, 1u);
+  // The outer op's histograms cover the whole op, nested I/O included.
+  EXPECT_EQ(obs.histograms().at("outer.seeks").max(), 3u);
+  EXPECT_EQ(obs.histograms().at("inner.seeks").max(), 1u);
+  EXPECT_TRUE(obs.ConservationHolds(disk.stats()));
+}
+
+TEST(OpScopeTest, IoOutsideAnyScopeIsUnattributed) {
+  StorageConfig cfg;
+  ObsRegistry obs;
+  SimDisk disk(cfg);
+  disk.set_obs(&obs);
+  const AreaId area = disk.CreateArea();
+  std::string page(cfg.page_size, 'x');
+  ASSERT_TRUE(disk.Write(area, 0, 1, page.data()).ok());
+  ASSERT_EQ(obs.ops().count(ObsRegistry::kUnattributed), 1u);
+  EXPECT_EQ(obs.ops().at(ObsRegistry::kUnattributed).io.write_calls, 1u);
+  EXPECT_TRUE(obs.ConservationHolds(disk.stats()));
+}
+
+TEST(OpScopeTest, ResetStatsResetsAttributionLedgerToo) {
+  StorageConfig cfg;
+  ObsRegistry obs;
+  SimDisk disk(cfg);
+  disk.set_obs(&obs);
+  const AreaId area = disk.CreateArea();
+  std::string page(cfg.page_size, 'x');
+  ASSERT_TRUE(disk.Write(area, 0, 1, page.data()).ok());
+  ASSERT_FALSE(obs.ops().empty());
+  disk.ResetStats();
+  EXPECT_TRUE(obs.ops().empty());
+  EXPECT_TRUE(obs.ConservationHolds(disk.stats()));
+  // Conservation keeps holding for I/O issued after the reset.
+  ASSERT_TRUE(disk.Write(area, 1, 1, page.data()).ok());
+  EXPECT_TRUE(obs.ConservationHolds(disk.stats()));
+}
+
+// ---------------------------------------------------------------------------
+// Conservation across a mixed workload, all three engines
+
+class ObsConservationTest : public ::testing::TestWithParam<int> {
+ protected:
+  ObsConservationTest() {
+    switch (GetParam()) {
+      case 0:
+        mgr_ = CreateEsmManager(&sys_, 4);
+        break;
+      case 1:
+        mgr_ = CreateStarburstManager(&sys_);
+        break;
+      default:
+        mgr_ = CreateEosManager(&sys_, 4);
+        break;
+    }
+  }
+
+  void ExpectConservation(const char* where) {
+    const ObsRegistry* obs = sys_.obs();
+    const IoStats& global = sys_.stats();
+    EXPECT_TRUE(obs->ConservationHolds(global)) << where;
+    const IoStats total = obs->AttributedTotal();
+    EXPECT_EQ(total.read_calls, global.read_calls) << where;
+    EXPECT_EQ(total.write_calls, global.write_calls) << where;
+    EXPECT_EQ(total.pages_read, global.pages_read) << where;
+    EXPECT_EQ(total.pages_written, global.pages_written) << where;
+    EXPECT_NEAR(total.ms, global.ms, 1e-6 * (1.0 + global.ms)) << where;
+  }
+
+  StorageSystem sys_;
+  std::unique_ptr<LargeObjectManager> mgr_;
+};
+
+TEST_P(ObsConservationTest, MixedWorkloadSumsToGlobal) {
+  auto id = mgr_->Create();
+  ASSERT_TRUE(id.ok());
+  ExpectConservation("after create");
+
+  // Build ~600K in mid-sized appends.
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(
+        mgr_->Append(*id, Pattern(static_cast<uint64_t>(i), 50000)).ok());
+  }
+  ExpectConservation("after appends");
+
+  // Mixed reads, inserts, deletes, replaces at varied offsets/sizes.
+  Rng rng(42);
+  std::string buf;
+  for (int i = 0; i < 30; ++i) {
+    auto size = mgr_->Size(*id);
+    ASSERT_TRUE(size.ok());
+    const uint64_t sz = *size;
+    const uint64_t off = sz == 0 ? 0 : rng.Next() % sz;
+    switch (i % 4) {
+      case 0:
+        ASSERT_TRUE(
+            mgr_->Read(*id, off, std::min<uint64_t>(9000, sz - off), &buf)
+                .ok());
+        break;
+      case 1:
+        ASSERT_TRUE(mgr_->Insert(*id, off, Pattern(rng.Next(), 3000)).ok());
+        break;
+      case 2:
+        ASSERT_TRUE(
+            mgr_->Delete(*id, off, std::min<uint64_t>(2000, sz - off)).ok());
+        break;
+      default: {
+        const uint64_t len = std::min<uint64_t>(1500, sz - off);
+        ASSERT_TRUE(mgr_->Replace(*id, off, Pattern(rng.Next(), len)).ok());
+        break;
+      }
+    }
+  }
+  ExpectConservation("after update mix");
+
+  // Every metered byte should be attributed to an engine-tagged label;
+  // nothing in this workload runs outside an OpScope.
+  const ObsRegistry* obs = sys_.obs();
+  EXPECT_EQ(obs->ops().count(ObsRegistry::kUnattributed), 0u);
+  EXPECT_GE(obs->ops().size(), 5u) << "expected per-op labels for the mix";
+  for (const auto& [label, rec] : obs->ops()) {
+    EXPECT_GT(rec.count, 0u) << label;
+  }
+
+  ASSERT_TRUE(sys_.FlushAll().ok());
+  // FlushAll runs outside any scope: charged to (unattributed), and the
+  // invariant still holds.
+  ExpectConservation("after FlushAll");
+
+  ASSERT_TRUE(mgr_->Destroy(*id).ok());
+  ExpectConservation("after destroy");
+}
+
+TEST_P(ObsConservationTest, UnmeteredSectionPreservesConservation) {
+  auto id = mgr_->Create();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(mgr_->Append(*id, Pattern(9, 200000)).ok());
+  ASSERT_TRUE(sys_.FlushAll().ok());
+  ExpectConservation("before section");
+  const IoStats before = sys_.stats();
+  {
+    StorageSystem::UnmeteredSection unmetered(&sys_);
+    std::string buf;
+    ASSERT_TRUE(mgr_->Read(*id, 0, 200000, &buf).ok());
+  }
+  const IoStats after = sys_.stats();
+  EXPECT_EQ(after.Seeks(), before.Seeks()) << "section must not be metered";
+  ExpectConservation("after section");
+}
+
+std::string EngineName3(const ::testing::TestParamInfo<int>& param_info) {
+  return param_info.param == 0   ? "Esm"
+         : param_info.param == 1 ? "Starburst"
+                                 : "Eos";
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ObsConservationTest,
+                         ::testing::Values(0, 1, 2), EngineName3);
+
+}  // namespace
+}  // namespace lob

@@ -89,5 +89,71 @@ TEST_F(OpContextTest, NonContiguousDirtyRunsSplitCalls) {
       << "a hole in the dirty run costs a second seek";
 }
 
+TEST_F(OpContextTest, FailedFinishClearsDeferredState) {
+  // Seed-code regression: a Finish that failed mid-flush returned early,
+  // leaving the deferred ranges in place; the next operation on the same
+  // context re-flushed the stale ranges. After the fix, state is cleared
+  // on every exit path.
+  OpContext ctx(&pool_);
+  StageDirty(0, 'a');
+  ctx.DeferFlush(area_, 0, 1);
+  disk_.InjectFailureAfter(0);
+  EXPECT_FALSE(ctx.Finish().ok()) << "injected I/O failure must propagate";
+  disk_.InjectFailureAfter(-1);
+  EXPECT_FALSE(ctx.has_pending())
+      << "a failed Finish must still clear the context";
+
+  // Next operation: only its own range may be flushed. Page 0 is still
+  // dirty in the pool (its flush failed), so a leaked deferred range
+  // would cost an extra write call here.
+  StageDirty(7, 'b');
+  ctx.DeferFlush(area_, 7, 1);
+  ASSERT_TRUE(ctx.Finish().ok());
+  EXPECT_EQ(disk_.stats().write_calls, 1u)
+      << "stale ranges from the failed operation must not be re-flushed";
+  EXPECT_EQ(disk_.stats().pages_written, 1u);
+}
+
+TEST_F(OpContextTest, FailedFinishClearsShadowMarks) {
+  OpContext ctx(&pool_);
+  StageDirty(0, 'a');
+  ctx.DeferFlush(area_, 0, 1);
+  ctx.NoteShadowed(area_, 3);
+  disk_.InjectFailureAfter(0);
+  ASSERT_FALSE(ctx.Finish().ok());
+  disk_.InjectFailureAfter(-1);
+  EXPECT_FALSE(ctx.AlreadyShadowed(area_, 3))
+      << "the next operation must be allowed to shadow the page again";
+}
+
+TEST_F(OpContextTest, FinishAttemptsRemainingRangesAfterFailure) {
+  // Best-effort durability: a failure on the first range must not skip
+  // the later ones.
+  OpContext ctx(&pool_);
+  StageDirty(0, 'a');
+  StageDirty(5, 'b');
+  ctx.DeferFlush(area_, 0, 1);
+  ctx.DeferFlush(area_, 5, 1);
+  disk_.InjectFailureAfter(1);  // first flush fails, second succeeds
+  EXPECT_FALSE(ctx.Finish().ok());
+  disk_.InjectFailureAfter(-1);
+  EXPECT_EQ(disk_.stats().write_calls, 1u)
+      << "the second range still flushed after the first failed";
+}
+
+TEST_F(OpContextTest, AbortDropsPendingWorkWithoutWriting) {
+  OpContext ctx(&pool_);
+  StageDirty(11, 'z');
+  ctx.DeferFlush(area_, 11, 1);
+  ctx.NoteShadowed(area_, 12);
+  EXPECT_TRUE(ctx.has_pending());
+  ctx.Abort();
+  EXPECT_FALSE(ctx.has_pending());
+  EXPECT_FALSE(ctx.AlreadyShadowed(area_, 12));
+  ASSERT_TRUE(ctx.Finish().ok());
+  EXPECT_EQ(disk_.stats().write_calls, 0u)
+      << "aborted ranges are never written";
+}
+
 }  // namespace
 }  // namespace lob

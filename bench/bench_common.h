@@ -1,10 +1,19 @@
 // Shared scaffolding for the reproduction benches: engine line-ups,
-// experiment runners, and table printing.
+// experiment runners, parallel fan-out and table printing.
 //
 // Every bench binary accepts:
 //   --quick            shrink object size and op counts (CI smoke run)
 //   --object-mb=N      object size (default 10, as in the paper)
 //   --ops=N            operations for update-mix experiments (default 20000)
+//   --window=N         mark window for update-mix experiments
+//                      (default ops/10; validated 1 <= N <= ops)
+//   --jobs=N           worker threads for the configuration fan-out
+//                      (default hardware_concurrency; 1 reproduces the
+//                      serial execution order exactly, 0 runs inline on
+//                      the main thread; output bytes are identical for
+//                      every value)
+//   --bench-json=PATH  write the wall-clock/modeled-ms profile of this
+//                      run as JSON (see scripts/bench_wall.sh)
 //   --obs              print the per-operation I/O attribution ledger
 //                      (engine x op: count, seeks, pages, modeled ms) after
 //                      each configuration run, with a conservation check
@@ -12,7 +21,9 @@
 #ifndef LOB_BENCH_BENCH_COMMON_H_
 #define LOB_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -20,6 +31,9 @@
 
 #include "core/factory.h"
 #include "core/storage_system.h"
+#include "exec/bench_profile.h"
+#include "exec/parallel_runner.h"
+#include "exec/thread_pool.h"
 #include "workload/workload.h"
 
 namespace lob::bench {
@@ -73,26 +87,24 @@ inline void PrintBanner(const char* title, const char* reproduces) {
   std::printf("================================================================\n");
 }
 
-/// Set by BenchArgs::Parse when --obs is given; RunMixFor then prints the
-/// per-operation attribution ledger after every configuration run.
-inline bool g_print_obs = false;
-
-/// Prints the per-operation I/O attribution ledger of `sys` (fed by the
+/// Appends the per-operation I/O attribution ledger of `sys` (fed by the
 /// OpScope tags inside the managers) plus the conservation check against
-/// the global counters.
-inline void PrintOpAttribution(const std::string& title, StorageSystem* sys) {
+/// the global counters to `out`. Jobs run in parallel, so the ledger goes
+/// through the job's output buffer, never straight to stdout.
+inline void PrintOpAttribution(const std::string& title, StorageSystem* sys,
+                               JobOutput* out) {
   const ObsRegistry* obs = sys->obs();
-  std::printf("-- per-op I/O attribution: %s\n", title.c_str());
-  std::printf("%-24s %10s %10s %10s %14s\n", "op", "count", "seeks", "pages",
+  out->Printf("-- per-op I/O attribution: %s\n", title.c_str());
+  out->Printf("%-24s %10s %10s %10s %14s\n", "op", "count", "seeks", "pages",
               "ms");
   for (const auto& [label, rec] : obs->ops()) {
-    std::printf("%-24s %10llu %10llu %10llu %14.1f\n", label.c_str(),
+    out->Printf("%-24s %10llu %10llu %10llu %14.1f\n", label.c_str(),
                 static_cast<unsigned long long>(rec.count),
                 static_cast<unsigned long long>(rec.io.Seeks()),
                 static_cast<unsigned long long>(rec.io.PagesTransferred()),
                 rec.io.ms);
   }
-  std::printf("conservation (sum attributed == global): %s\n",
+  out->Printf("conservation (sum attributed == global): %s\n",
               obs->ConservationHolds(sys->stats()) ? "OK" : "VIOLATED");
 }
 
@@ -118,8 +130,10 @@ struct BenchArgs {
   uint64_t object_bytes = 10ull * 1024 * 1024;
   uint32_t ops = 20000;
   uint32_t window = 2000;
+  uint32_t jobs = 1;
   bool quick = false;
   bool obs = false;
+  std::string bench_json;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -129,23 +143,87 @@ struct BenchArgs {
     args.object_bytes = mb * 1024 * 1024;
     args.ops = static_cast<uint32_t>(
         FlagValue(argc, argv, "ops", args.quick ? 2000 : 20000));
-    args.window = std::max(1u, args.ops / 10);
+    const uint64_t window = FlagValue(argc, argv, "window",
+                                      std::max(1u, args.ops / 10));
+    if (window < 1 || window > args.ops) {
+      std::fprintf(stderr,
+                   "invalid --window=%llu: must satisfy 1 <= window <= "
+                   "ops (%u)\n",
+                   static_cast<unsigned long long>(window), args.ops);
+      std::exit(2);
+    }
+    args.window = static_cast<uint32_t>(window);
+    args.jobs = static_cast<uint32_t>(
+        FlagValue(argc, argv, "jobs", ThreadPool::DefaultWorkers()));
     args.obs = FlagPresent(argc, argv, "obs");
-    g_print_obs = args.obs;
+    args.bench_json = FlagValueString(argc, argv, "bench-json", "");
     return args;
   }
+};
+
+/// The per-bench harness: a thread pool sized by --jobs, the deterministic
+/// fan-out runner, and the wall-clock profile exported by --bench-json.
+/// One BenchEngine per binary; Map() may be called several times (each
+/// grid contributes its cells to the same profile).
+class BenchEngine {
+ public:
+  BenchEngine(std::string name, const BenchArgs& args)
+      : pool_(args.jobs),
+        runner_(&pool_),
+        profile_(std::move(name), args.jobs == 0 ? 1u : args.jobs),
+        json_path_(args.bench_json),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ThreadPool* pool() { return &pool_; }
+
+  /// Fans one job per cell label out across the pool; returns values,
+  /// captured per-job text and timings in submission order and feeds the
+  /// wall/modeled milliseconds of every cell into the profile.
+  template <typename T>
+  Mapped<T> Map(const std::vector<std::string>& cell_labels,
+                const std::function<T(size_t, JobOutput*)>& fn) {
+    Mapped<T> mapped = runner_.Map<T>(cell_labels.size(), fn);
+    for (size_t i = 0; i < cell_labels.size(); ++i) {
+      profile_.AddCell(cell_labels[i], mapped.stats[i].wall_ms,
+                       mapped.stats[i].modeled_ms);
+    }
+    return mapped;
+  }
+
+  /// Records the total wall clock and writes BENCH_<name>.json when
+  /// --bench-json was given. Call once, after all output is printed.
+  void Finish() {
+    const auto end = std::chrono::steady_clock::now();
+    profile_.set_suite_wall_ms(
+        std::chrono::duration<double, std::milli>(end - start_).count());
+    if (!json_path_.empty()) profile_.WriteJson(json_path_);
+  }
+
+  const BenchProfile& profile() const { return profile_; }
+
+ private:
+  ThreadPool pool_;
+  ParallelRunner runner_;
+  BenchProfile profile_;
+  std::string json_path_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// Result of one update-mix configuration run.
 struct MixRun {
   std::vector<MixPoint> points;
   double final_utilization = 0;
+  double modeled_ms = 0;  ///< total modeled I/O (build + mix) of the cell
 };
 
 /// Builds an object (100K appends, mirroring a bulk load) and runs the
-/// paper's 40/30/30 mix with the given mean operation size.
+/// paper's 40/30/30 mix with the given mean operation size. Safe to call
+/// from a fan-out job: the StorageSystem is private to this call and all
+/// text goes through `out` (pass print_obs=false / out=nullptr when the
+/// attribution ledger is not wanted).
 inline MixRun RunMixFor(const EngineSpec& spec, uint64_t object_bytes,
-                        uint64_t mean_op, uint32_t ops, uint32_t window) {
+                        uint64_t mean_op, uint32_t ops, uint32_t window,
+                        bool print_obs = false, JobOutput* out = nullptr) {
   StorageSystem sys;
   auto mgr = spec.make(&sys);
   auto id = mgr->Create();
@@ -159,11 +237,13 @@ inline MixRun RunMixFor(const EngineSpec& spec, uint64_t object_bytes,
   mix.seed = 7 + mean_op;
   auto points = RunUpdateMix(&sys, mgr.get(), *id, mix);
   LOB_CHECK_OK(points.status());
-  if (g_print_obs) PrintOpAttribution(spec.label, &sys);
+  if (print_obs && out != nullptr) PrintOpAttribution(spec.label, &sys, out);
   MixRun run;
   run.points = *points;
   run.final_utilization = points->empty() ? 1.0
                                           : points->back().utilization;
+  run.modeled_ms = sys.stats().ms;
+  if (out != nullptr) out->SetModeledMs(run.modeled_ms);
   return run;
 }
 

@@ -4,6 +4,7 @@
 // pool (4.4.2). This ablation varies both knobs and reports 10 K read
 // costs after the standard update mix, quantifying how much of each
 // structure's read cost is pool pressure rather than data layout.
+// The ((pool, limit) x engine) grid runs as one fan-out job per cell.
 
 #include "bench/bench_common.h"
 
@@ -13,7 +14,7 @@ using namespace lob::bench;
 namespace {
 
 double MeasureReads(const StorageConfig& cfg, int engine,
-                    uint64_t object_bytes, uint32_t ops) {
+                    uint64_t object_bytes, uint32_t ops, JobOutput* out) {
   StorageSystem sys(cfg);
   auto mgr = engine == 0 ? CreateEsmManager(&sys, 1)
                          : CreateEosManager(&sys, 4);
@@ -27,6 +28,7 @@ double MeasureReads(const StorageConfig& cfg, int engine,
   mix.window_ops = ops;
   auto points = RunUpdateMix(&sys, mgr.get(), *id, mix);
   LOB_CHECK_OK(points.status());
+  out->SetModeledMs(sys.stats().ms);
   return points->back().avg_read_ms;
 }
 
@@ -43,20 +45,43 @@ int main(int argc, char** argv) {
               "seg limit", "ESM leaf=1", "EOS T=4");
   const uint32_t pools[] = {12, 32, 128};
   const uint32_t limits[] = {4, 16};
+  struct Cell {
+    uint32_t pool;
+    uint32_t limit;
+    int engine;
+  };
+  std::vector<Cell> cells;
+  std::vector<std::string> cell_labels;
   for (uint32_t pool : pools) {
     for (uint32_t limit : limits) {
       if (limit > pool) continue;
-      StorageConfig cfg;
-      cfg.buffer_pool_pages = pool;
-      cfg.max_pool_segment_pages = limit;
-      std::printf("%12u %12u  %14.1f  %14.1f\n", pool, limit,
-                  MeasureReads(cfg, 0, args.object_bytes, args.ops),
-                  MeasureReads(cfg, 1, args.object_bytes, args.ops));
+      for (int eng : {0, 1}) {
+        cells.push_back(Cell{pool, limit, eng});
+        cell_labels.push_back("pool=" + std::to_string(pool) + "/limit=" +
+                              std::to_string(limit) + "/" +
+                              (eng == 0 ? "ESM leaf=1" : "EOS T=4"));
+      }
     }
+  }
+  BenchEngine engine("ext_pool_ablation", args);
+  Mapped<double> read_ms = engine.Map<double>(
+      cell_labels, [&](size_t i, JobOutput* out) {
+        const Cell& cell = cells[i];
+        StorageConfig cfg;
+        cfg.buffer_pool_pages = cell.pool;
+        cfg.max_pool_segment_pages = cell.limit;
+        return MeasureReads(cfg, cell.engine, args.object_bytes, args.ops,
+                            out);
+      });
+
+  for (size_t i = 0; i + 1 < cells.size(); i += 2) {
+    std::printf("%12u %12u  %14.1f  %14.1f\n", cells[i].pool,
+                cells[i].limit, read_ms.values[i], read_ms.values[i + 1]);
   }
   std::printf(
       "\nexpected: larger pools absorb index-page misses (biggest gain for\n"
       "1-page ESM leaves whose trees have the most index pages); a larger\n"
       "buffered-segment limit helps multi-page reads stay in one call.\n");
+  engine.Finish();
   return 0;
 }

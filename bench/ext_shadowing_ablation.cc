@@ -3,7 +3,8 @@
 // updating a page of a small segment, because the entire segment's useful
 // bytes are copied to a fresh location; without shadowing the two updates
 // cost the same. The paper quotes ~6-7x between a 2-block and a 64-block
-// segment.
+// segment. The (leaf size x shadowing mode) grid runs as one fan-out job
+// per cell.
 
 #include "bench/bench_common.h"
 #include "esm/esm_manager.h"
@@ -15,7 +16,7 @@ namespace {
 
 // Average cost of a 100-byte in-leaf replace on an ESM object with the
 // given leaf size, with or without shadowing.
-double ReplaceCost(uint32_t leaf_pages, bool shadowing) {
+double ReplaceCost(uint32_t leaf_pages, bool shadowing, JobOutput* out) {
   StorageConfig cfg;
   cfg.shadowing = shadowing;
   StorageSystem sys(cfg);
@@ -38,22 +39,40 @@ double ReplaceCost(uint32_t leaf_pages, bool shadowing) {
     LOB_CHECK_OK(mgr.Replace(*id, off, patch));
     total += IoStats::Delta(before, sys.stats()).ms;
   }
+  out->SetModeledMs(sys.stats().ms);
   return total / ops;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
   PrintBanner("ext_shadowing_ablation: whole-segment shadowing cost",
               "3.3 (shadow granularity is the segment; 2-block vs 64-block "
               "update ~6-7x)");
+
+  const std::vector<uint32_t> leaves = {2, 4, 16, 64};
+  std::vector<std::string> cell_labels;
+  for (uint32_t leaf : leaves) {
+    for (bool shadowing : {true, false}) {
+      cell_labels.push_back("leaf=" + std::to_string(leaf) + "/shadowing=" +
+                            (shadowing ? "on" : "off"));
+    }
+  }
+  BenchEngine engine("ext_shadowing_ablation", args);
+  Mapped<double> ms = engine.Map<double>(
+      cell_labels, [&](size_t i, JobOutput* out) {
+        const uint32_t leaf = leaves[i / 2];
+        const bool shadowing = (i % 2) == 0;
+        return ReplaceCost(leaf, shadowing, out);
+      });
+
   std::printf("\n%12s  %18s  %18s  %18s\n", "leaf pages",
               "shadowing on [ms]", "shadowing off [ms]", "pure copy [ms]");
-  for (uint32_t leaf : {2u, 4u, 16u, 64u}) {
-    const double on = ReplaceCost(leaf, true);
-    const double off = ReplaceCost(leaf, false);
+  for (size_t k = 0; k < leaves.size(); ++k) {
+    const uint32_t leaf = leaves[k];
+    const double on = ms.values[2 * k];
+    const double off = ms.values[2 * k + 1];
     // Reading and rewriting the whole segment: 2 x (seek + n x transfer).
     const double copy = 2 * (33.0 + 4.0 * leaf);
     std::printf("%12u  %18.1f  %18.1f  %18.1f\n", leaf, on, off, copy);
@@ -63,5 +82,6 @@ int main(int argc, char** argv) {
       "values add pool-churn overhead (root/directory evictions) on top of\n"
       "the copy; without shadowing every update is one page write.\n",
       (2 * (33.0 + 4.0 * 64)) / (2 * (33.0 + 4.0 * 2)));
+  engine.Finish();
   return 0;
 }

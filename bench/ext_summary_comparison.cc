@@ -1,6 +1,7 @@
 // Extension: the paper's closing comparison (4.6): with a threshold of 64
 // blocks, EOS provides the same read and utilization performance as
-// Starburst while its update cost is roughly 30x lower.
+// Starburst while its update cost is roughly 30x lower. The three engine
+// configurations run as parallel fan-out jobs.
 
 #include "bench/bench_common.h"
 #include "starburst/starburst_manager.h"
@@ -17,10 +18,10 @@ struct Summary {
 };
 
 Summary Measure(const EngineSpec& spec, uint64_t object_bytes, uint32_t ops,
-                uint32_t window) {
+                uint32_t window, bool obs, JobOutput* out) {
   // Run the standard 10 K mix; report steady-state read/insert costs and
   // final utilization.
-  MixRun run = RunMixFor(spec, object_bytes, 10000, ops, window);
+  MixRun run = RunMixFor(spec, object_bytes, 10000, ops, window, obs, out);
   Summary s;
   if (!run.points.empty()) {
     const MixPoint& last = run.points.back();
@@ -56,23 +57,34 @@ int main(int argc, char** argv) {
        [](StorageSystem* sys) { return CreateEsmManager(sys, 16); }},
   };
 
+  std::vector<std::string> cell_labels;
+  for (const auto& spec : specs) cell_labels.push_back(spec.label);
+  BenchEngine engine("ext_summary_comparison", args);
+  Mapped<Summary> summaries = engine.Map<Summary>(
+      cell_labels, [&](size_t i, JobOutput* out) {
+        const EngineSpec& spec = specs[i];
+        // Starburst updates are whole-tail copies: run fewer of them.
+        const uint32_t ops =
+            spec.label == "Starburst" ? std::min(args.ops, 200u) : args.ops;
+        return Measure(spec, args.object_bytes, ops, std::max(1u, ops / 4),
+                       args.obs, out);
+      });
+
   std::printf("%14s  %12s  %14s  %14s\n", "engine", "read [ms]",
               "insert [ms]", "utilization");
   double starburst_insert = 0, eos_insert = 0;
-  for (const auto& spec : specs) {
-    // Starburst updates are whole-tail copies: run fewer of them.
-    const uint32_t ops =
-        spec.label == "Starburst" ? std::min(args.ops, 200u) : args.ops;
-    Summary s = Measure(spec, args.object_bytes, ops,
-                        std::max(1u, ops / 4));
-    std::printf("%14s  %12.1f  %14.1f  %13.1f%%\n", spec.label.c_str(),
+  for (size_t k = 0; k < specs.size(); ++k) {
+    std::fputs(summaries.texts[k].c_str(), stdout);
+    const Summary& s = summaries.values[k];
+    std::printf("%14s  %12.1f  %14.1f  %13.1f%%\n", specs[k].label.c_str(),
                 s.read_ms, s.insert_ms, s.utilization * 100);
-    if (spec.label == "Starburst") starburst_insert = s.insert_ms;
-    if (spec.label == "EOS T=64") eos_insert = s.insert_ms;
+    if (specs[k].label == "Starburst") starburst_insert = s.insert_ms;
+    if (specs[k].label == "EOS T=64") eos_insert = s.insert_ms;
   }
   if (eos_insert > 0) {
     std::printf("\nStarburst/EOS-64 update cost ratio: %.1fx (paper: ~30x)\n",
                 starburst_insert / eos_insert);
   }
+  engine.Finish();
   return 0;
 }

@@ -5,6 +5,11 @@
 // Mean operation sizes are the paper's 100 bytes, 10 K and 100 K, each
 // varied +/-50%; marks land every `window` operations and show the average
 // cost of the operations in the window that just ended (paper 4.4).
+//
+// The (mean_op x engine) grid is fanned out across the --jobs thread pool:
+// every cell builds its own private StorageSystem and runs independently;
+// results and any --obs ledger text come back in submission order, so the
+// bytes printed are identical for every worker count.
 
 #ifndef LOB_BENCH_MIX_FIGURE_H_
 #define LOB_BENCH_MIX_FIGURE_H_
@@ -33,6 +38,14 @@ inline const char* MetricUnit(MixMetric metric) {
   return metric == MixMetric::kUtilization ? "percent" : "ms per op";
 }
 
+/// Short bench name for the profile: everything before the first ':' of
+/// the banner title (e.g. "fig9_esm_read_cost").
+inline std::string BenchNameFromTitle(const char* title) {
+  const std::string t = title;
+  const size_t colon = t.find(':');
+  return colon == std::string::npos ? t : t.substr(0, colon);
+}
+
 inline int RunMixFigure(int argc, char** argv, const char* title,
                         const char* reproduces,
                         const std::vector<EngineSpec>& specs,
@@ -48,18 +61,45 @@ inline int RunMixFigure(int argc, char** argv, const char* title,
     std::printf("mean_op,ops,engine,value\n");
   }
 
-  for (uint64_t mean_op : {100ull, 10000ull, 100000ull}) {
+  const std::vector<uint64_t> mean_ops = {100, 10000, 100000};
+
+  // Flatten the (mean_op x spec) grid into one job per cell.
+  struct Cell {
+    uint64_t mean_op;
+    size_t spec;
+  };
+  std::vector<Cell> cells;
+  std::vector<std::string> cell_labels;
+  for (uint64_t mean_op : mean_ops) {
+    for (size_t k = 0; k < specs.size(); ++k) {
+      cells.push_back(Cell{mean_op, k});
+      cell_labels.push_back("mean_op=" + std::to_string(mean_op) + "/" +
+                            specs[k].label);
+    }
+  }
+
+  BenchEngine engine(BenchNameFromTitle(title), args);
+  Mapped<MixRun> runs = engine.Map<MixRun>(
+      cell_labels, [&](size_t i, JobOutput* out) {
+        const Cell& cell = cells[i];
+        return RunMixFor(specs[cell.spec], args.object_bytes, cell.mean_op,
+                         args.ops, args.window, args.obs, out);
+      });
+
+  // Emit in the exact order the serial loops used: per mean_op group, the
+  // section header, each cell's captured --obs text, then the table.
+  size_t idx = 0;
+  for (uint64_t mean_op : mean_ops) {
     if (!csv) {
       std::printf("\n--- mean operation size: %llu bytes (+/-50%%) ---\n",
                   static_cast<unsigned long long>(mean_op));
     }
     std::vector<std::string> labels;
     std::vector<std::vector<MixPoint>> series;
-    for (const auto& spec : specs) {
-      labels.push_back(spec.label);
-      series.push_back(RunMixFor(spec, args.object_bytes, mean_op, args.ops,
-                                 args.window)
-                           .points);
+    for (size_t k = 0; k < specs.size(); ++k, ++idx) {
+      std::fputs(runs.texts[idx].c_str(), stdout);
+      labels.push_back(specs[k].label);
+      series.push_back(runs.values[idx].points);
     }
     if (csv) {
       // Machine-readable long format, one row per (mark, engine).
@@ -79,6 +119,7 @@ inline int RunMixFigure(int argc, char** argv, const char* title,
                    MetricUnit(metric));
   }
   if (!csv) std::printf("\npaper anchors: %s\n", anchors);
+  engine.Finish();
   return 0;
 }
 

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Sanitizer gate: configure a separate build tree with AddressSanitizer +
-# UndefinedBehaviorSanitizer (-DLOB_SANITIZE=ON) and run the full test
-# suite under it. Debug build so the LOB_CHECK underflow guards in
-# IoStats::operator- are active too.
+# Sanitizer gate, two passes:
+#  1. ASan+UBSan (-DLOB_SANITIZE=ON): the full test suite, Debug build so
+#     the LOB_CHECK underflow guards in IoStats::operator- are active too.
+#  2. TSan (-DLOB_SANITIZE=thread): the parallel-experiment-engine tests
+#     (ThreadPool/ParallelRunner unit tests plus the bench determinism
+#     gate, which fans real StorageSystem jobs across 4 workers).
 # Usage: scripts/check.sh [ctest-args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -13,3 +15,11 @@ cmake -B build-sanitize -G Ninja \
 cmake --build build-sanitize
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-sanitize --output-on-failure "$@"
+
+cmake -B build-tsan -G Ninja \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DLOB_SANITIZE=thread
+cmake --build build-tsan
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-tsan --output-on-failure \
+        -R '^(exec_test|bench_determinism)$' "$@"

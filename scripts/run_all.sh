@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Build, test, and reproduce every experiment at the paper's parameters.
 # Usage: scripts/run_all.sh [--quick]
+# JOBS=<n> sets the parallel fan-out width of each bench (default: cores);
+# output is byte-identical for any value, only the wall clock changes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 QUICK="${1:-}"
+JOBS="${JOBS:-$(nproc)}"
 
 cmake -B build -G Ninja
 cmake --build build
@@ -18,6 +21,6 @@ for b in build/bench/*; do
   if [ "$name" = micro_substrates ]; then
     "$b" --benchmark_min_time=0.1
   else
-    "$b" $QUICK
+    "$b" $QUICK --jobs="$JOBS"
   fi
 done | tee results/full_bench.txt

@@ -7,8 +7,10 @@
 #ifndef LOB_COMMON_LOGGING_H_
 #define LOB_COMMON_LOGGING_H_
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace lob::internal {
 
@@ -16,6 +18,28 @@ namespace lob::internal {
                                      const char* expr) {
   std::fprintf(stderr, "LOB_CHECK failed at %s:%d: %s\n", file, line, expr);
   std::abort();
+}
+
+/// Serializes warning lines: the parallel experiment engine runs one
+/// bench cell per worker thread, and interleaved fprintf fragments from
+/// concurrent warnings would be unreadable (and flagged by TSan on some
+/// libc builds). One mutex-guarded fprintf per warning line.
+inline std::mutex& LogSinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 3, 4)))
+#endif
+inline void LogWarn(const char* file, int line, const char* fmt, ...) {
+  char msg[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
+  va_end(args);
+  std::lock_guard<std::mutex> lock(LogSinkMutex());
+  std::fprintf(stderr, "[lob:warn] %s:%d: %s\n", file, line, msg);
 }
 
 }  // namespace lob::internal
@@ -34,10 +58,11 @@ namespace lob::internal {
 #define LOB_CHECK_GT(a, b) LOB_CHECK((a) > (b))
 #define LOB_CHECK_GE(a, b) LOB_CHECK((a) >= (b))
 
-/// Non-fatal warning with source location; printf-style.
-#define LOB_LOG_WARN(fmt, ...)                                        \
-  std::fprintf(stderr, "[lob:warn] %s:%d: " fmt "\n", __FILE__,       \
-               __LINE__ __VA_OPT__(, ) __VA_ARGS__)
+/// Non-fatal warning with source location; printf-style. Emits through a
+/// mutex-guarded sink so warnings from parallel bench workers never
+/// interleave mid-line.
+#define LOB_LOG_WARN(...) \
+  ::lob::internal::LogWarn(__FILE__, __LINE__, __VA_ARGS__)
 
 #define LOB_CHECK_OK(expr)                                               \
   do {                                                                   \

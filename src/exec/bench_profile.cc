@@ -1,0 +1,84 @@
+#include "exec/bench_profile.h"
+
+#include <cstdio>
+
+namespace lob {
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+void AppendNumber(double v, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  *out += buf;
+}
+
+}  // namespace
+
+double BenchProfile::CellWallMsTotal() const {
+  double total = 0;
+  for (const Cell& c : cells_) total += c.wall_ms;
+  return total;
+}
+
+double BenchProfile::CellModeledMsTotal() const {
+  double total = 0;
+  for (const Cell& c : cells_) total += c.modeled_ms;
+  return total;
+}
+
+std::string BenchProfile::ToJson() const {
+  std::string out = "{\n  \"bench\": \"";
+  AppendEscaped(bench_, &out);
+  out += "\",\n  \"jobs\": " + std::to_string(jobs_);
+  out += ",\n  \"suite_wall_ms\": ";
+  AppendNumber(suite_wall_ms_, &out);
+  out += ",\n  \"cell_wall_ms_total\": ";
+  AppendNumber(CellWallMsTotal(), &out);
+  out += ",\n  \"cell_modeled_ms_total\": ";
+  AppendNumber(CellModeledMsTotal(), &out);
+  out += ",\n  \"cells\": [";
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"config\": \"";
+    AppendEscaped(cells_[i].config, &out);
+    out += "\", \"wall_ms\": ";
+    AppendNumber(cells_[i].wall_ms, &out);
+    out += ", \"modeled_ms\": ";
+    AppendNumber(cells_[i].modeled_ms, &out);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool BenchProfile::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BenchProfile: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = ToJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace lob

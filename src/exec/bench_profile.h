@@ -1,0 +1,62 @@
+// BenchProfile: wall-clock self-profiling of a bench run.
+//
+// Every converted bench records, for each grid cell it executed, the
+// measured wall milliseconds next to the cost-model milliseconds the cell
+// simulated, plus the worker count used for the fan-out. The profile
+// exports as BENCH_<name>.json (via --bench-json=PATH); scripts/
+// bench_wall.sh assembles the per-bench files into BENCH_suite.json, the
+// repo's perf trajectory record.
+
+#ifndef LOB_EXEC_BENCH_PROFILE_H_
+#define LOB_EXEC_BENCH_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+namespace lob {
+
+/// Collects per-cell wall/modeled timings for one bench run and exports
+/// them as JSON. Single-threaded: the harness records cells on the main
+/// thread after the fan-out completes, in submission order.
+class BenchProfile {
+ public:
+  struct Cell {
+    std::string config;  ///< e.g. "mean_op=10000/ESM leaf=4"
+    double wall_ms = 0;
+    double modeled_ms = 0;
+  };
+
+  BenchProfile(std::string bench, unsigned jobs)
+      : bench_(std::move(bench)), jobs_(jobs) {}
+
+  void AddCell(std::string config, double wall_ms, double modeled_ms) {
+    cells_.push_back(Cell{std::move(config), wall_ms, modeled_ms});
+  }
+
+  /// Total wall clock of the whole bench process (flag parsing, fan-out,
+  /// table printing), as opposed to the sum of cell walls.
+  void set_suite_wall_ms(double ms) { suite_wall_ms_ = ms; }
+
+  const std::vector<Cell>& cells() const { return cells_; }
+  unsigned jobs() const { return jobs_; }
+
+  double CellWallMsTotal() const;
+  double CellModeledMsTotal() const;
+
+  /// {"bench":..., "jobs":..., "suite_wall_ms":..., totals, "cells":[...]}
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`; returns false (with a diagnostic on
+  /// stderr) when the file cannot be written.
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  unsigned jobs_;
+  double suite_wall_ms_ = 0;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace lob
+
+#endif  // LOB_EXEC_BENCH_PROFILE_H_

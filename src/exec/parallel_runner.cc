@@ -1,0 +1,27 @@
+#include "exec/parallel_runner.h"
+
+#include <cstdio>
+
+namespace lob {
+
+void JobOutput::Printf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed <= 0) {
+    va_end(args_copy);
+    return;
+  }
+  const size_t old_size = text_.size();
+  text_.resize(old_size + static_cast<size_t>(needed));
+  // vsnprintf writes the terminating NUL over one past the formatted text;
+  // format into a region that includes that byte, then drop it.
+  std::vsnprintf(text_.data() + old_size, static_cast<size_t>(needed) + 1,
+                 fmt, args_copy);
+  va_end(args_copy);
+}
+
+}  // namespace lob

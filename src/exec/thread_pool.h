@@ -1,0 +1,75 @@
+// ThreadPool: fixed-size worker pool for the parallel experiment engine.
+//
+// Tasks are submitted as callables and return std::futures; exceptions
+// thrown inside a task are captured by the future and rethrown at get().
+// Tasks are executed in FIFO submission order (a single worker therefore
+// reproduces the exact execution order of a serial loop, which is what
+// makes `--jobs=1` bit-identical to the pre-parallel harness).
+//
+// workers == 0 is the degenerate inline mode: Submit runs the task on the
+// calling thread before returning. workers == 1 runs everything on one
+// background thread in submission order. Destruction drains the queue
+// (pending tasks still run) and joins every worker.
+
+#ifndef LOB_EXEC_THREAD_POOL_H_
+#define LOB_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace lob {
+
+/// Fixed-size FIFO thread pool with future-based submission.
+class ThreadPool {
+ public:
+  /// hardware_concurrency, clamped to at least 1.
+  static unsigned DefaultWorkers();
+
+  explicit ThreadPool(unsigned workers = DefaultWorkers());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned workers() const { return workers_; }
+
+  /// Enqueues `fn` and returns the future of its result. With zero
+  /// workers the task runs inline on the calling thread.
+  template <typename F, typename R = std::invoke_result_t<std::decay_t<F>&>>
+  std::future<R> Submit(F&& fn) {
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (workers_ == 0) {
+      (*task)();
+      return future;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void WorkerLoop();
+
+  const unsigned workers_;
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace lob
+
+#endif  // LOB_EXEC_THREAD_POOL_H_

@@ -21,17 +21,69 @@ void FillBytes(Rng* rng, uint64_t n, std::string* out) {
   }
 }
 
+void FillBytes(Rng* rng, uint64_t n, std::string* out, NoZeroInit) {
+  // Hot-path variant: produces exactly the byte stream (and Rng
+  // consumption) of the overload above, but growth past the current size
+  // is appended from a filled stack block, so the tail is written once
+  // instead of zeroed by resize() and then overwritten.
+  if (out->size() > n) out->resize(n);  // shrink; capacity is retained
+  out->reserve(n);
+  const uint64_t in_place = out->size();
+  uint64_t i = 0;           // global write position
+  char block[1024];         // staging for the appended tail
+  size_t staged = 0;
+  const auto emit = [&](const char* p, uint64_t len) {
+    while (len > 0) {
+      if (i < in_place) {  // overwrite the existing prefix directly
+        const uint64_t take = std::min(len, in_place - i);
+        std::memcpy(out->data() + i, p, take);
+        i += take;
+        p += take;
+        len -= take;
+      } else {  // stage and append without value-initialization
+        if (staged == sizeof(block)) {
+          out->append(block, staged);
+          staged = 0;
+        }
+        const uint64_t take =
+            std::min<uint64_t>(len, sizeof(block) - staged);
+        std::memcpy(block + staged, p, take);
+        staged += take;
+        i += take;
+        p += take;
+        len -= take;
+      }
+    }
+  };
+  uint64_t produced = 0;
+  while (produced + 8 <= n) {
+    const uint64_t v = rng->Next();
+    char word[8];
+    std::memcpy(word, &v, 8);
+    emit(word, 8);
+    produced += 8;
+  }
+  while (produced < n) {
+    const char c = static_cast<char>(rng->Next() & 0xff);
+    emit(&c, 1);
+    produced += 1;
+  }
+  if (staged > 0) out->append(block, staged);
+}
+
 StatusOr<PhaseResult> BuildObject(StorageSystem* sys, LargeObjectManager* mgr,
                                   ObjectId id, uint64_t total_bytes,
                                   uint64_t append_bytes, uint64_t seed) {
   LOB_CHECK_GT(append_bytes, 0u);
   Rng rng(seed);
+  // One capacity-retaining buffer for the whole build phase: after the
+  // first chunk, FillBytes overwrites it in place (no resize/zero-fill).
   std::string chunk;
   const IoStats before = sys->stats();
   uint64_t written = 0;
   while (written < total_bytes) {
     const uint64_t take = std::min(append_bytes, total_bytes - written);
-    FillBytes(&rng, take, &chunk);
+    FillBytes(&rng, take, &chunk, NoZeroInit{});
     LOB_RETURN_IF_ERROR(mgr->Append(id, chunk));
     written += take;
   }
@@ -97,7 +149,7 @@ StatusOr<std::vector<MixPoint>> RunUpdateMix(StorageSystem* sys,
       const uint64_t n = rng.Uniform(spec.mean_op_bytes / 2,
                                      spec.mean_op_bytes * 3 / 2);
       const uint64_t off = rng.Uniform(0, size);
-      FillBytes(&rng, n, &buf);
+      FillBytes(&rng, n, &buf, NoZeroInit{});
       LOB_RETURN_IF_ERROR(mgr->Insert(id, off, buf));
       last_insert_size = n;
       window.inserts++;
@@ -148,6 +200,16 @@ bool FlagPresent(int argc, char** argv, const std::string& name) {
     if (flag == argv[i]) return true;
   }
   return false;
+}
+
+std::string FlagValueString(int argc, char** argv, const std::string& name,
+                            const std::string& def) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return def;
 }
 
 }  // namespace lob

@@ -33,6 +33,17 @@ struct PhaseResult {
 /// Fills `out` with `n` deterministic pseudo-random bytes.
 void FillBytes(Rng* rng, uint64_t n, std::string* out);
 
+/// Tag selecting the fill path that skips value-initialization: growth
+/// beyond out->size() is appended from filled blocks instead of being
+/// zeroed by resize() and then overwritten. Byte-for-byte the same output
+/// (and the same Rng consumption) as the plain overload; capacity is
+/// retained across calls, so a hoisted per-phase buffer settles at the
+/// phase's maximum chunk size and never reallocates or re-zeroes.
+struct NoZeroInit {};
+
+/// Same result as FillBytes(rng, n, out) without zero-filling the tail.
+void FillBytes(Rng* rng, uint64_t n, std::string* out, NoZeroInit);
+
 /// Builds an object of `total_bytes` by appending `append_bytes` chunks.
 StatusOr<PhaseResult> BuildObject(StorageSystem* sys, LargeObjectManager* mgr,
                                   ObjectId id, uint64_t total_bytes,
@@ -81,6 +92,10 @@ StatusOr<double> CurrentUtilization(StorageSystem* sys,
 uint64_t FlagValue(int argc, char** argv, const std::string& name,
                    uint64_t def);
 bool FlagPresent(int argc, char** argv, const std::string& name);
+
+/// String-valued flag: returns the text after --name= or `def`.
+std::string FlagValueString(int argc, char** argv, const std::string& name,
+                            const std::string& def);
 
 }  // namespace lob
 

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Determinism gate for the parallel experiment engine: the fan-out must
+# produce byte-identical stdout for any worker count. Enforced here for
+# two converted benches — a mix-figure bench in machine-readable CSV mode
+# and the fig5 build-time table — by diffing --jobs=1 against --jobs=4.
+# Also checks --window flag validation.
+# Usage: bench_determinism_test.sh <fig9_binary> <fig5_binary>
+set -euo pipefail
+
+FIG9="$1"
+FIG5="$2"
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+# 1. Mix-figure CSV output: --jobs=4 vs --jobs=1 must be byte-identical.
+"$FIG9" --quick --csv --jobs=1 > "$tmpdir/fig9_j1.csv"
+"$FIG9" --quick --csv --jobs=4 > "$tmpdir/fig9_j4.csv"
+cmp "$tmpdir/fig9_j1.csv" "$tmpdir/fig9_j4.csv" \
+  || fail "fig9 --csv output differs between --jobs=1 and --jobs=4"
+
+# 2. Same check with the --obs attribution ledger interleaved.
+"$FIG9" --quick --obs --jobs=1 > "$tmpdir/fig9_obs_j1.txt"
+"$FIG9" --quick --obs --jobs=4 > "$tmpdir/fig9_obs_j4.txt"
+cmp "$tmpdir/fig9_obs_j1.txt" "$tmpdir/fig9_obs_j4.txt" \
+  || fail "fig9 --obs output differs between --jobs=1 and --jobs=4"
+
+# 3. fig5 table output: --jobs=4 and inline --jobs=0 vs --jobs=1.
+"$FIG5" --quick --jobs=1 > "$tmpdir/fig5_j1.txt"
+"$FIG5" --quick --jobs=4 > "$tmpdir/fig5_j4.txt"
+"$FIG5" --quick --jobs=0 > "$tmpdir/fig5_j0.txt"
+cmp "$tmpdir/fig5_j1.txt" "$tmpdir/fig5_j4.txt" \
+  || fail "fig5 output differs between --jobs=1 and --jobs=4"
+cmp "$tmpdir/fig5_j1.txt" "$tmpdir/fig5_j0.txt" \
+  || fail "fig5 output differs between --jobs=1 and --jobs=0 (inline)"
+
+# 4. --bench-json emits a profile with one cell per grid configuration.
+"$FIG5" --quick --jobs=4 --bench-json="$tmpdir/BENCH_fig5.json" > /dev/null
+grep -q '"bench": "fig5_build_time"' "$tmpdir/BENCH_fig5.json" \
+  || fail "BENCH_fig5.json missing bench name"
+grep -q '"wall_ms"' "$tmpdir/BENCH_fig5.json" \
+  || fail "BENCH_fig5.json missing per-cell wall_ms"
+grep -q '"modeled_ms"' "$tmpdir/BENCH_fig5.json" \
+  || fail "BENCH_fig5.json missing per-cell modeled_ms"
+
+# 5. --window validation: out-of-range values must be rejected.
+if "$FIG9" --quick --ops=100 --window=0 > /dev/null 2>&1; then
+  fail "--window=0 was accepted"
+fi
+if "$FIG9" --quick --ops=100 --window=101 > /dev/null 2>&1; then
+  fail "--window=101 (> ops) was accepted"
+fi
+"$FIG9" --quick --ops=100 --window=50 --csv --jobs=2 > /dev/null \
+  || fail "valid --window=50 rejected"
+
+echo "PASS: parallel bench output is byte-deterministic"

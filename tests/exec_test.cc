@@ -1,0 +1,140 @@
+// Tests for the parallel experiment engine: ThreadPool (ordering,
+// exception propagation, degenerate worker counts) and ParallelRunner
+// (deterministic result/text ordering, timing capture).
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/parallel_runner.h"
+#include "exec/thread_pool.h"
+#include "gtest/gtest.h"
+
+namespace lob {
+namespace {
+
+TEST(ThreadPoolTest, DefaultWorkersIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultWorkers(), 1u);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInlineOnSubmittingThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0u);
+  const std::thread::id main_id = std::this_thread::get_id();
+  auto future = pool.Submit([main_id] {
+    EXPECT_EQ(std::this_thread::get_id(), main_id);
+    return 42;
+  });
+  // With zero workers the task has already run by the time Submit returns.
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, SingleWorkerExecutesInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;  // only the worker thread touches it
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([i, &order] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, ManyWorkersCompleteEveryTask) {
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.workers(), 8u);
+  std::atomic<int> done{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([i, &done] {
+      done.fetch_add(1);
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] { return 7; });
+  auto bad = pool.Submit([]() -> int {
+    throw std::runtime_error("job failed");
+  });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PendingTasksRunBeforeDestruction) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1);
+      });
+    }
+    // Destructor must drain the queue, not drop it.
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(JobOutputTest, PrintfAppendsFormattedText) {
+  JobOutput out;
+  out.Printf("a=%d ", 1);
+  out.Printf("b=%s\n", "two");
+  EXPECT_EQ(out.text(), "a=1 b=two\n");
+  out.SetModeledMs(12.5);
+  EXPECT_DOUBLE_EQ(out.modeled_ms(), 12.5);
+}
+
+TEST(ParallelRunnerTest, ResultsAndTextsComeBackInSubmissionOrder) {
+  for (unsigned workers : {0u, 1u, 4u}) {
+    ThreadPool pool(workers);
+    ParallelRunner runner(&pool);
+    const size_t n = 24;
+    Mapped<size_t> mapped = runner.Map<size_t>(
+        n, [](size_t i, JobOutput* out) {
+          // Stagger finish times so out-of-order completion is likely.
+          std::this_thread::sleep_for(
+              std::chrono::microseconds((13 * (i % 7)) % 50));
+          out->Printf("job %zu", i);
+          out->SetModeledMs(static_cast<double>(i));
+          return i * 10;
+        });
+    ASSERT_EQ(mapped.values.size(), n);
+    ASSERT_EQ(mapped.texts.size(), n);
+    ASSERT_EQ(mapped.stats.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(mapped.values[i], i * 10) << "workers=" << workers;
+      EXPECT_EQ(mapped.texts[i], "job " + std::to_string(i));
+      EXPECT_DOUBLE_EQ(mapped.stats[i].modeled_ms,
+                       static_cast<double>(i));
+      EXPECT_GE(mapped.stats[i].wall_ms, 0.0);
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, JobExceptionRethrownAtItsIndex) {
+  ThreadPool pool(4);
+  ParallelRunner runner(&pool);
+  EXPECT_THROW(
+      runner.Map<int>(16,
+                      [](size_t i, JobOutput*) -> int {
+                        if (i == 5) throw std::runtime_error("cell 5");
+                        return static_cast<int>(i);
+                      }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lob

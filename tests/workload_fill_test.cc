@@ -1,0 +1,61 @@
+// Tests for the FillBytes hot path: the NoZeroInit overload must produce
+// exactly the byte stream (and Rng consumption) of the plain overload for
+// every size/alignment combination, while retaining buffer capacity
+// across shrink/grow cycles.
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "workload/workload.h"
+
+namespace lob {
+namespace {
+
+TEST(FillBytesTest, NoZeroInitMatchesPlainOverload) {
+  // Cover word-aligned sizes, byte tails, empty, and block boundaries.
+  const std::vector<uint64_t> sizes = {0,    1,    7,    8,    9,   63,
+                                       64,   65,   100,  1023, 1024, 1025,
+                                       4096, 10000};
+  for (uint64_t n : sizes) {
+    Rng a(123), b(123);
+    std::string plain, fast;
+    FillBytes(&a, n, &plain);
+    FillBytes(&b, n, &fast, NoZeroInit{});
+    EXPECT_EQ(plain, fast) << "n=" << n;
+    // Identical Rng consumption: the next value must agree.
+    EXPECT_EQ(a.Next(), b.Next()) << "n=" << n;
+  }
+}
+
+TEST(FillBytesTest, NoZeroInitMatchesWhenReusingBuffer) {
+  // Grow, shrink, regrow: the reused buffer must still match a fresh
+  // buffer byte-for-byte at every step.
+  Rng a(9), b(9);
+  std::string reused;
+  const std::vector<uint64_t> sequence = {100, 5000, 17, 0, 2048, 2049, 31};
+  for (uint64_t n : sequence) {
+    std::string fresh;
+    FillBytes(&a, n, &fresh);
+    FillBytes(&b, n, &reused, NoZeroInit{});
+    EXPECT_EQ(fresh, reused) << "n=" << n;
+  }
+}
+
+TEST(FillBytesTest, NoZeroInitRetainsCapacityAcrossShrink) {
+  Rng rng(1);
+  std::string buf;
+  FillBytes(&rng, 8192, &buf, NoZeroInit{});
+  const size_t cap = buf.capacity();
+  EXPECT_GE(cap, 8192u);
+  FillBytes(&rng, 16, &buf, NoZeroInit{});
+  EXPECT_EQ(buf.size(), 16u);
+  EXPECT_EQ(buf.capacity(), cap);  // shrink must not release capacity
+  FillBytes(&rng, 8192, &buf, NoZeroInit{});
+  EXPECT_EQ(buf.size(), 8192u);
+  EXPECT_EQ(buf.capacity(), cap);  // regrow fits into retained capacity
+}
+
+}  // namespace
+}  // namespace lob

@@ -17,6 +17,16 @@
 //   --obs              print the per-operation I/O attribution ledger
 //                      (engine x op: count, seeks, pages, modeled ms) after
 //                      each configuration run, with a conservation check
+//   --trace=PATH       (mix benches) record every configuration's span
+//                      stream on the modeled clock and write one merged
+//                      Chrome trace-event / Perfetto JSON file; per-job
+//                      buffers merge in submission order, so the bytes are
+//                      identical for every --jobs value. No-op spans when
+//                      the build has LOB_TRACING=OFF.
+//   --timeline=PATH    (mix benches) write per-configuration storage-state
+//                      timelines (utilization, fragmentation histogram,
+//                      segment size distribution) as one CSV file
+//   --timeline-every=N sample cadence in ops (default: --window)
 
 #ifndef LOB_BENCH_BENCH_COMMON_H_
 #define LOB_BENCH_BENCH_COMMON_H_
@@ -27,6 +37,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/factory.h"
@@ -34,6 +45,9 @@
 #include "exec/bench_profile.h"
 #include "exec/parallel_runner.h"
 #include "exec/thread_pool.h"
+#include "trace/timeline.h"
+#include "trace/trace_session.h"
+#include "trace/tracing.h"
 #include "workload/workload.h"
 
 namespace lob::bench {
@@ -108,21 +122,24 @@ inline void PrintOpAttribution(const std::string& title, StorageSystem* sys,
               obs->ConservationHolds(sys->stats()) ? "OK" : "VIOLATED");
 }
 
+/// Writes `content` to `path`; empty paths are skipped.
+inline void WriteTextFile(const std::string& path,
+                          const std::string& content) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
 /// Writes the registry's JSON and/or CSV export; empty paths are skipped.
 inline void ExportObs(StorageSystem* sys, const std::string& json_path,
                       const std::string& csv_path) {
-  auto write = [](const std::string& path, const std::string& content) {
-    if (path.empty()) return;
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", path.c_str());
-      return;
-    }
-    std::fwrite(content.data(), 1, content.size(), f);
-    std::fclose(f);
-  };
-  write(json_path, sys->obs()->ToJson());
-  write(csv_path, sys->obs()->ToCsv());
+  WriteTextFile(json_path, sys->obs()->ToJson());
+  WriteTextFile(csv_path, sys->obs()->ToCsv());
 }
 
 /// Common command line handling.
@@ -134,6 +151,9 @@ struct BenchArgs {
   bool quick = false;
   bool obs = false;
   std::string bench_json;
+  std::string trace;           ///< merged Chrome/Perfetto JSON output path
+  std::string timeline;        ///< merged timeline CSV output path
+  uint32_t timeline_every = 0; ///< sample cadence in ops (default --window)
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -157,6 +177,17 @@ struct BenchArgs {
         FlagValue(argc, argv, "jobs", ThreadPool::DefaultWorkers()));
     args.obs = FlagPresent(argc, argv, "obs");
     args.bench_json = FlagValueString(argc, argv, "bench-json", "");
+    args.trace = FlagValueString(argc, argv, "trace", "");
+    args.timeline = FlagValueString(argc, argv, "timeline", "");
+    args.timeline_every = static_cast<uint32_t>(
+        FlagValue(argc, argv, "timeline-every", args.window));
+#if !LOB_TRACING
+    if (!args.trace.empty()) {
+      std::fprintf(stderr,
+                   "warning: --trace: span tracing compiled out "
+                   "(LOB_TRACING=OFF); the trace will contain no spans\n");
+    }
+#endif
     return args;
   }
 };
@@ -170,7 +201,9 @@ class BenchEngine {
   BenchEngine(std::string name, const BenchArgs& args)
       : pool_(args.jobs),
         runner_(&pool_),
-        profile_(std::move(name), args.jobs == 0 ? 1u : args.jobs),
+        profile_(std::move(name), args.jobs == 0 ? 1u : args.jobs,
+                 std::thread::hardware_concurrency(),
+                 BenchProfile::MakeHostNote()),
         json_path_(args.bench_json),
         start_(std::chrono::steady_clock::now()) {}
 
@@ -220,11 +253,16 @@ struct MixRun {
 /// paper's 40/30/30 mix with the given mean operation size. Safe to call
 /// from a fan-out job: the StorageSystem is private to this call and all
 /// text goes through `out` (pass print_obs=false / out=nullptr when the
-/// attribution ledger is not wanted).
+/// attribution ledger is not wanted). When `trace` is given it is attached
+/// to the cell's SimDisk for the whole run (build phase included); when
+/// `timeline` is given the update mix samples storage state into it.
 inline MixRun RunMixFor(const EngineSpec& spec, uint64_t object_bytes,
                         uint64_t mean_op, uint32_t ops, uint32_t window,
-                        bool print_obs = false, JobOutput* out = nullptr) {
+                        bool print_obs = false, JobOutput* out = nullptr,
+                        TraceSession* trace = nullptr,
+                        TimelineSampler* timeline = nullptr) {
   StorageSystem sys;
+  sys.disk()->set_trace(trace);
   auto mgr = spec.make(&sys);
   auto id = mgr->Create();
   LOB_CHECK_OK(id.status());
@@ -235,8 +273,10 @@ inline MixRun RunMixFor(const EngineSpec& spec, uint64_t object_bytes,
   mix.total_ops = ops;
   mix.window_ops = window;
   mix.seed = 7 + mean_op;
+  mix.timeline = timeline;
   auto points = RunUpdateMix(&sys, mgr.get(), *id, mix);
   LOB_CHECK_OK(points.status());
+  sys.disk()->set_trace(nullptr);
   if (print_obs && out != nullptr) PrintOpAttribution(spec.label, &sys, out);
   MixRun run;
   run.points = *points;

@@ -78,13 +78,43 @@ inline int RunMixFigure(int argc, char** argv, const char* title,
     }
   }
 
+  // Per-cell trace sessions / timeline samplers: each fan-out job records
+  // only into its own slot, and the merge below walks the slots in
+  // submission order, so the exported bytes are identical for any --jobs.
+  std::vector<std::unique_ptr<TraceSession>> traces;
+  std::vector<std::unique_ptr<TimelineSampler>> timelines;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    traces.push_back(args.trace.empty() ? nullptr
+                                        : std::make_unique<TraceSession>());
+    timelines.push_back(args.timeline.empty()
+                            ? nullptr
+                            : std::make_unique<TimelineSampler>(
+                                  args.timeline_every));
+  }
+
   BenchEngine engine(BenchNameFromTitle(title), args);
   Mapped<MixRun> runs = engine.Map<MixRun>(
       cell_labels, [&](size_t i, JobOutput* out) {
         const Cell& cell = cells[i];
         return RunMixFor(specs[cell.spec], args.object_bytes, cell.mean_op,
-                         args.ops, args.window, args.obs, out);
+                         args.ops, args.window, args.obs, out,
+                         traces[i].get(), timelines[i].get());
       });
+
+  if (!args.trace.empty()) {
+    std::vector<std::pair<std::string, const TraceSession*>> sessions;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      sessions.emplace_back(cell_labels[i], traces[i].get());
+    }
+    WriteTextFile(args.trace, TraceSession::ChromeTraceJson(sessions));
+  }
+  if (!args.timeline.empty()) {
+    std::string timeline_csv = TimelineSampler::CsvHeader();
+    for (size_t i = 0; i < cells.size(); ++i) {
+      timelines[i]->AppendCsv(cell_labels[i], &timeline_csv);
+    }
+    WriteTextFile(args.timeline, timeline_csv);
+  }
 
   // Emit in the exact order the serial loops used: per mean_op group, the
   // section header, each cell's captured --obs text, then the table.

@@ -7,7 +7,9 @@
 # Usage: scripts/bench_wall.sh [--full]
 #   default is --quick scale; JOBS=<n> overrides the parallel worker
 #   count (default: number of cores, floor 4 so the speedup comparison is
-#   meaningful even on small CI machines).
+#   meaningful even on small CI machines). LOB_BENCH_HOST_NOTE=<text>
+#   annotates every BENCH_*.json and the suite file with a host
+#   description, so committed artifacts are self-explaining.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +17,8 @@ SCALE="--quick"
 if [ "${1:-}" = "--full" ]; then SCALE=""; fi
 JOBS="${JOBS:-$(nproc)}"
 if [ "$JOBS" -lt 4 ]; then JOBS=4; fi
+HOST_NOTE="${LOB_BENCH_HOST_NOTE:-}"
+export LOB_BENCH_HOST_NOTE="$HOST_NOTE"
 
 if [ ! -f build/CMakeCache.txt ]; then
   cmake -B build -G Ninja > /dev/null
@@ -87,6 +91,7 @@ suite_speedup=$(awk -v a="$total_j1" -v b="$total_jn" \
   printf '  "scale": "%s",\n' "${SCALE:---full}"
   printf '  "jobs": %s,\n' "$JOBS"
   printf '  "hardware_threads": %s,\n' "$(nproc)"
+  printf '  "host_note": "%s",\n' "$HOST_NOTE"
   printf '  "wall_ms_jobs1_total": %s,\n' "$total_j1"
   printf '  "wall_ms_jobsN_total": %s,\n' "$total_jn"
   printf '  "suite_speedup": %s,\n' "$suite_speedup"

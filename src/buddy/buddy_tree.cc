@@ -117,6 +117,31 @@ bool BuddyTree::IsFree(uint32_t b) const {
   return longest_[n_blocks_ + b] == 1;
 }
 
+void BuddyTree::AccumulateFreeChunks(
+    std::map<uint32_t, uint64_t>* acc) const {
+  if (n_blocks_ == 1) {
+    if (longest_[1] == 1) (*acc)[1]++;
+    return;
+  }
+  // Iterative preorder walk over the heap array: a node whose region is
+  // entirely free (longest_ == region size) is one maximal chunk; a leaf
+  // with longest_ == 0 is allocated; anything else splits.
+  std::vector<std::pair<uint32_t, uint32_t>> work;  // (node, node_size)
+  work.emplace_back(1u, n_blocks_);
+  while (!work.empty()) {
+    const auto [node, node_size] = work.back();
+    work.pop_back();
+    const uint32_t longest = longest_[node];
+    if (longest == node_size) {
+      (*acc)[node_size]++;
+      continue;
+    }
+    if (node_size == 1 || longest == 0) continue;  // allocated throughout
+    work.emplace_back(2 * node, node_size / 2);
+    work.emplace_back(2 * node + 1, node_size / 2);
+  }
+}
+
 void BuddyTree::SerializeBitmap(char* out) const {
   std::memset(out, 0, BitmapBytes());
   for (uint32_t b = 0; b < n_blocks_; ++b) {

@@ -17,6 +17,7 @@
 #define LOB_BUDDY_BUDDY_TREE_H_
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "common/status.h"
@@ -49,6 +50,12 @@ class BuddyTree {
 
   /// True iff block `b` is free.
   bool IsFree(uint32_t b) const;
+
+  /// Accumulates the space's maximal free aligned chunks into `acc`
+  /// (chunk size in blocks -> count): a node whose region is entirely
+  /// free counts once at its size and is not descended into, so the sum
+  /// of size*count over `acc` equals free_blocks().
+  void AccumulateFreeChunks(std::map<uint32_t, uint64_t>* acc) const;
 
   /// Writes the free-block bitmap (1 bit per block, LSB-first within each
   /// byte, 1 = free) into `out`, which must hold BitmapBytes() bytes.

@@ -1,9 +1,11 @@
 #include "buddy/database_area.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "trace/trace_span.h"
 
 namespace lob {
 
@@ -18,6 +20,7 @@ DatabaseArea::DatabaseArea(BufferPool* pool, AreaId area,
 }
 
 Status DatabaseArea::AddSpace() {
+  LOB_TRACE_SPAN(pool_->disk(), "buddy.add_space");
   const uint32_t space = static_cast<uint32_t>(spaces_.size());
   spaces_.push_back(std::make_unique<BuddyTree>(config_.buddy_space_order));
   hints_.push_back(blocks_per_space_);
@@ -30,6 +33,7 @@ Status DatabaseArea::AddSpace() {
 }
 
 StatusOr<Segment> DatabaseArea::Allocate(uint32_t n_pages) {
+  LOB_TRACE_SPAN(pool_->disk(), "buddy.alloc");
   if (n_pages == 0) return Status::InvalidArgument("zero-page segment");
   if (n_pages > blocks_per_space_) {
     return Status::NoSpace("segment exceeds buddy space capacity");
@@ -66,6 +70,7 @@ StatusOr<Segment> DatabaseArea::Allocate(uint32_t n_pages) {
 }
 
 Status DatabaseArea::Free(PageId first_page, uint32_t n_pages) {
+  LOB_TRACE_SPAN(pool_->disk(), "buddy.free");
   if (n_pages == 0) return Status::InvalidArgument("zero-page free");
   const uint32_t stride = blocks_per_space_ + 1;
   const uint32_t space = first_page / stride;
@@ -119,6 +124,25 @@ bool DatabaseArea::IsAllocated(PageId page) const {
   if (space >= spaces_.size()) return false;
   if (page % stride == 0) return true;  // directory block
   return !spaces_[space]->IsFree(page - DataBase(space));
+}
+
+uint64_t DatabaseArea::free_pages() const {
+  uint64_t free = 0;
+  for (const auto& space : spaces_) free += space->free_blocks();
+  return free;
+}
+
+uint32_t DatabaseArea::LargestFreeExtent() const {
+  uint32_t largest = 0;
+  for (const auto& space : spaces_) {
+    largest = std::max(largest, space->LargestFree());
+  }
+  return largest;
+}
+
+void DatabaseArea::AccumulateFreeChunks(
+    std::map<uint32_t, uint64_t>* acc) const {
+  for (const auto& space : spaces_) space->AccumulateFreeChunks(acc);
 }
 
 bool DatabaseArea::CheckInvariants() const {

@@ -18,6 +18,7 @@
 #define LOB_BUDDY_DATABASE_AREA_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -67,6 +68,19 @@ class DatabaseArea {
 
   /// Superdirectory entry for space `i` (largest free chunk, in blocks).
   uint32_t SuperdirectoryHint(uint32_t i) const { return hints_[i]; }
+
+  /// Free blocks across every space (the area's free-page total).
+  uint64_t free_pages() const;
+
+  /// Largest free aligned chunk in any space, in blocks (0 when full).
+  uint32_t LargestFreeExtent() const;
+
+  /// Accumulates the area's maximal free aligned chunks into `acc`
+  /// (chunk size in blocks -> count). This is the fragmentation histogram
+  /// the timeline sampler snapshots: a heavily fragmented area shows many
+  /// small chunks where a fresh one shows a single space-sized chunk.
+  /// Pure in-memory walk of the buddy trees; no I/O.
+  void AccumulateFreeChunks(std::map<uint32_t, uint64_t>* acc) const;
 
   /// True iff the area-relative page is currently allocated (test helper).
   bool IsAllocated(PageId page) const;

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "trace/trace_span.h"
 
 namespace lob {
 
@@ -73,6 +74,7 @@ Status BufferPool::EvictSlot(uint32_t slot) {
   if (!f.valid) return Status::OK();
   if (f.pins != 0) return Status::Internal("evicting pinned page");
   if (f.dirty) {
+    LOB_TRACE_SPAN(disk_, "pool.evict");
     LOB_RETURN_IF_ERROR(disk_->Write(f.area, f.page, 1, SlotData(slot)));
   }
   map_.erase(Key(f.area, f.page));
@@ -131,6 +133,7 @@ StatusOr<PageGuard> BufferPool::FixPage(AreaId area, PageId page,
   uint32_t slot = *slot_or;
   Frame& f = frames_[slot];
   if (mode == FixMode::kRead) {
+    LOB_TRACE_SPAN(disk_, "pool.miss");
     LOB_RETURN_IF_ERROR(disk_->Read(area, page, 1, SlotData(slot)));
     misses_++;
   } else {
@@ -199,7 +202,10 @@ Status BufferPool::ReadSegmentRange(AreaId area, PageId seg_first,
         for (uint32_t i = 0; i < np; ++i) {
           LOB_RETURN_IF_ERROR(EvictSlot(w + i));
         }
-        LOB_RETURN_IF_ERROR(disk_->Read(area, p0, np, SlotData(w)));
+        {
+          LOB_TRACE_SPAN(disk_, "pool.refetch");
+          LOB_RETURN_IF_ERROR(disk_->Read(area, p0, np, SlotData(w)));
+        }
         misses_++;
         for (uint32_t i = 0; i < np; ++i) {
           Frame& f = frames_[w + i];
@@ -287,7 +293,10 @@ Status BufferPool::ReadSegmentRange(AreaId area, PageId seg_first,
         f.dirty = false;
       }
     }
-    LOB_RETURN_IF_ERROR(disk_->Read(area, mid_first, count, out));
+    {
+      LOB_TRACE_SPAN(disk_, "pool.read_run");
+      LOB_RETURN_IF_ERROR(disk_->Read(area, mid_first, count, out));
+    }
     const uint64_t moved = static_cast<uint64_t>(count) * P;
     out += moved;
     remaining -= moved;
@@ -351,7 +360,10 @@ Status BufferPool::WriteSegmentRange(AreaId area, PageId seg_first,
   }
   const uint64_t run_begin = static_cast<uint64_t>(p0 - seg_first) * P;
   std::memcpy(temp.data() + (byte_off - run_begin), src, n_bytes);
-  LOB_RETURN_IF_ERROR(disk_->Write(area, p0, np, temp.data()));
+  {
+    LOB_TRACE_SPAN(disk_, "pool.write_run");
+    LOB_RETURN_IF_ERROR(disk_->Write(area, p0, np, temp.data()));
+  }
   // Refresh any cached copies so the pool stays coherent.
   for (PageId p = p0; p <= p1; ++p) {
     int s = FindSlot(area, p);
@@ -371,7 +383,10 @@ Status BufferPool::WriteFreshSegment(AreaId area, PageId first,
   const uint32_t np = static_cast<uint32_t>((n_bytes + P - 1) / P);
   std::vector<char> temp(static_cast<size_t>(np) * P, 0);
   std::memcpy(temp.data(), data, n_bytes);
-  LOB_RETURN_IF_ERROR(disk_->Write(area, first, np, temp.data()));
+  {
+    LOB_TRACE_SPAN(disk_, "pool.write_fresh");
+    LOB_RETURN_IF_ERROR(disk_->Write(area, first, np, temp.data()));
+  }
   for (uint32_t i = 0; i < np; ++i) {
     int s = FindSlot(area, first + i);
     if (s < 0) continue;
@@ -406,7 +421,10 @@ Status BufferPool::FlushRun(AreaId area, PageId first, uint32_t n_pages) {
       std::memcpy(temp.data() + static_cast<size_t>(k) * config_.page_size,
                   SlotData(static_cast<uint32_t>(sk)), config_.page_size);
     }
-    LOB_RETURN_IF_ERROR(disk_->Write(area, first + i, count, temp.data()));
+    {
+      LOB_TRACE_SPAN(disk_, "pool.flush");
+      LOB_RETURN_IF_ERROR(disk_->Write(area, first + i, count, temp.data()));
+    }
     for (uint32_t k = 0; k < count; ++k) {
       int sk = FindSlot(area, first + i + k);
       frames_[static_cast<uint32_t>(sk)].dirty = false;
@@ -456,6 +474,31 @@ bool BufferPool::IsCached(AreaId area, PageId page) const {
 bool BufferPool::IsDirty(AreaId area, PageId page) const {
   int s = FindSlot(area, page);
   return s >= 0 && frames_[static_cast<uint32_t>(s)].dirty;
+}
+
+BufferPool::State BufferPool::SaveState() const {
+  for (const Frame& f : frames_) LOB_CHECK_EQ(f.pins, 0u);
+  State state;
+  state.arena = arena_;
+  state.frames = frames_;
+  state.map = map_;
+  state.tick = tick_;
+  state.hits = hits_;
+  state.misses = misses_;
+  return state;
+}
+
+void BufferPool::RestoreState(const State& state) {
+  for (const Frame& f : frames_) LOB_CHECK_EQ(f.pins, 0u);
+  // A read-only walk can still have *written* to disk (evicting a dirty
+  // victim); restoring the frame's dirty bit afterwards is safe because
+  // the content did not change, so the eventual re-write is identical.
+  arena_ = state.arena;
+  frames_ = state.frames;
+  map_ = state.map;
+  tick_ = state.tick;
+  hits_ = state.hits;
+  misses_ = state.misses;
 }
 
 }  // namespace lob

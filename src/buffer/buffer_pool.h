@@ -165,6 +165,27 @@ class BufferPool {
   uint64_t tick_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+
+ public:
+  /// Opaque snapshot of the cached state: page contents, frame table,
+  /// lookup map, LRU clock and hit/miss counters. Audit walks (e.g.
+  /// timeline sampling, which reads index pages through the pool inside
+  /// an UnmeteredSection) bracket themselves with SaveState/RestoreState
+  /// so inspecting storage state cannot perturb the eviction order — and
+  /// therefore the measured cost — of the operations that follow. Both
+  /// calls require every frame to be unpinned.
+  struct State {
+   private:
+    friend class BufferPool;
+    std::vector<char> arena;
+    std::vector<Frame> frames;
+    std::unordered_map<uint64_t, uint32_t> map;
+    uint64_t tick = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  State SaveState() const;
+  void RestoreState(const State& state);
 };
 
 }  // namespace lob

@@ -1,0 +1,38 @@
+// RFC-4180 CSV field escaping, shared by every CSV exporter in the repo
+// (ObsRegistry::ToCsv, the timeline CSV exporter, lobtool stats).
+//
+// A field is quoted when it contains a comma, a double quote, or a line
+// break; embedded double quotes are doubled. Fields that need no quoting
+// are returned unchanged, so existing plain-ASCII output is byte-stable.
+
+#ifndef LOB_COMMON_CSV_H_
+#define LOB_COMMON_CSV_H_
+
+#include <string>
+
+namespace lob {
+
+/// Returns `field` escaped for use as one CSV field per RFC 4180.
+inline std::string CsvEscape(const std::string& field) {
+  bool needs_quoting = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quoting = true;
+      break;
+    }
+  }
+  if (!needs_quoting) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace lob
+
+#endif  // LOB_COMMON_CSV_H_

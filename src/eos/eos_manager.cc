@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "trace/trace_span.h"
 #include "common/math_util.h"
 
 namespace lob {
@@ -439,6 +440,7 @@ Status EosManager::ShuffleLeaves(ObjectId id,
                                  const PositionalTree::LeafInfo& a,
                                  const PositionalTree::LeafInfo& b,
                                  OpContext* ctx) {
+  LOB_TRACE_SPAN(sys_->disk(), "seg.shuffle");
   const uint64_t P = page_size();
   const uint64_t tp = static_cast<uint64_t>(options_.threshold_pages) * P;
   if (a.bytes < tp) {
@@ -483,6 +485,7 @@ Status EosManager::MergeLeaves(ObjectId id,
                                const PositionalTree::LeafInfo& a,
                                const PositionalTree::LeafInfo& b,
                                OpContext* ctx) {
+  LOB_TRACE_SPAN(sys_->disk(), "seg.merge");
   std::string content(a.bytes + b.bytes, '\0');
   LOB_RETURN_IF_ERROR(ReadLeaf(a, 0, a.bytes, content.data()));
   LOB_RETURN_IF_ERROR(ReadLeaf(b, 0, b.bytes, content.data() + a.bytes));
@@ -498,6 +501,7 @@ Status EosManager::MergeLeaves(ObjectId id,
 
 Status EosManager::EnforceThreshold(ObjectId id, uint64_t lo, uint64_t hi,
                                     OpContext* ctx) {
+  LOB_TRACE_SPAN(sys_->disk(), "seg.threshold");
   const uint64_t T = options_.threshold_pages;
   auto size = tree_->Size(id);
   if (!size.ok()) return size.status();

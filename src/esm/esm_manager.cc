@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "trace/trace_span.h"
 #include "common/math_util.h"
 
 namespace lob {
@@ -143,6 +144,7 @@ Status EsmManager::AppendInPlace(ObjectId id,
 Status EsmManager::AppendWithRedistribution(
     ObjectId id, std::vector<PositionalTree::LeafInfo> parts,
     std::string_view data, OpContext* ctx) {
+  LOB_TRACE_SPAN(sys_->disk(), "esm.redistribute");
   const uint64_t cap = LeafCapacity();
   uint64_t total = data.size();
   for (const auto& p : parts) total += p.bytes;
@@ -388,6 +390,7 @@ Status EsmManager::Delete(ObjectId id, uint64_t offset, uint64_t n) {
 
 Status EsmManager::FixupUnderflow(ObjectId id, uint64_t offset,
                                   OpContext* ctx) {
+  LOB_TRACE_SPAN(sys_->disk(), "esm.fixup");
   const uint64_t cap = LeafCapacity();
   const uint64_t half = cap / 2;
   for (int round = 0; round < 4; ++round) {

@@ -1,6 +1,7 @@
 #include "exec/bench_profile.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace lob {
 
@@ -32,6 +33,11 @@ void AppendNumber(double v, std::string* out) {
 
 }  // namespace
 
+std::string BenchProfile::MakeHostNote() {
+  const char* note = std::getenv("LOB_BENCH_HOST_NOTE");
+  return note == nullptr ? std::string() : std::string(note);
+}
+
 double BenchProfile::CellWallMsTotal() const {
   double total = 0;
   for (const Cell& c : cells_) total += c.wall_ms;
@@ -48,7 +54,11 @@ std::string BenchProfile::ToJson() const {
   std::string out = "{\n  \"bench\": \"";
   AppendEscaped(bench_, &out);
   out += "\",\n  \"jobs\": " + std::to_string(jobs_);
-  out += ",\n  \"suite_wall_ms\": ";
+  out += ",\n  \"hardware_concurrency\": " +
+         std::to_string(hardware_concurrency_);
+  out += ",\n  \"host_note\": \"";
+  AppendEscaped(host_note_, &out);
+  out += "\",\n  \"suite_wall_ms\": ";
   AppendNumber(suite_wall_ms_, &out);
   out += ",\n  \"cell_wall_ms_total\": ";
   AppendNumber(CellWallMsTotal(), &out);

@@ -26,8 +26,21 @@ class BenchProfile {
     double modeled_ms = 0;
   };
 
-  BenchProfile(std::string bench, unsigned jobs)
-      : bench_(std::move(bench)), jobs_(jobs) {}
+  /// `hardware_concurrency` and the optional host note (from the
+  /// LOB_BENCH_HOST_NOTE environment variable, see MakeHostNote) are
+  /// embedded in the JSON so committed BENCH_*.json artifacts are
+  /// self-explaining: a 0.94x single-core suite result carries the
+  /// machine context that produced it.
+  BenchProfile(std::string bench, unsigned jobs, unsigned hardware_concurrency,
+               std::string host_note)
+      : bench_(std::move(bench)),
+        jobs_(jobs),
+        hardware_concurrency_(hardware_concurrency),
+        host_note_(std::move(host_note)) {}
+
+  /// Host note for the current process: the LOB_BENCH_HOST_NOTE
+  /// environment variable, or "" when unset.
+  static std::string MakeHostNote();
 
   void AddCell(std::string config, double wall_ms, double modeled_ms) {
     cells_.push_back(Cell{std::move(config), wall_ms, modeled_ms});
@@ -39,11 +52,14 @@ class BenchProfile {
 
   const std::vector<Cell>& cells() const { return cells_; }
   unsigned jobs() const { return jobs_; }
+  unsigned hardware_concurrency() const { return hardware_concurrency_; }
+  const std::string& host_note() const { return host_note_; }
 
   double CellWallMsTotal() const;
   double CellModeledMsTotal() const;
 
-  /// {"bench":..., "jobs":..., "suite_wall_ms":..., totals, "cells":[...]}
+  /// {"bench":..., "jobs":..., "hardware_concurrency":..., "host_note":...,
+  ///  "suite_wall_ms":..., totals, "cells":[...]}
   std::string ToJson() const;
 
   /// Writes ToJson() to `path`; returns false (with a diagnostic on
@@ -53,6 +69,8 @@ class BenchProfile {
  private:
   std::string bench_;
   unsigned jobs_;
+  unsigned hardware_concurrency_ = 0;
+  std::string host_note_;
   double suite_wall_ms_ = 0;
   std::vector<Cell> cells_;
 };

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "obs/obs_registry.h"
+#include "trace/trace_session.h"
 
 namespace lob {
 
@@ -42,11 +43,21 @@ void SimDisk::AccountCall(bool is_read, uint32_t n_pages) {
     call.pages_written = n_pages;
   }
   call.ms = config_.seek_ms + n_pages * config_.PageTransferMs();
+#if LOB_TRACING
+  const double start_ms = stats_.ms;  // modeled clock before this call
+#endif
   stats_ += call;
-  if (obs_ != nullptr && attribution_suspended_ == 0) {
-    obs_->AttributeCall(
-        current_op_ != nullptr ? current_op_ : ObsRegistry::kUnattributed,
-        call);
+  if (attribution_suspended_ == 0) {
+    if (obs_ != nullptr) {
+      obs_->AttributeCall(
+          current_op_ != nullptr ? current_op_ : ObsRegistry::kUnattributed,
+          call);
+    }
+#if LOB_TRACING
+    if (trace_ != nullptr) {
+      trace_->RecordIo(is_read, n_pages, start_ms, call.ms);
+    }
+#endif
   }
 }
 

@@ -22,10 +22,12 @@
 #include "common/config.h"
 #include "common/status.h"
 #include "iomodel/io_stats.h"
+#include "trace/tracing.h"
 
 namespace lob {
 
 class ObsRegistry;
+class TraceSession;
 
 /// Identifies a database area (the paper uses two: one for leaf segments,
 /// one for everything else).
@@ -106,8 +108,29 @@ class SimDisk {
   /// into the global stats but not charged to any label; used by
   /// StorageSystem::UnmeteredSection, which restores the global stats on
   /// exit — so conservation is preserved on both sides of the section.
+  /// Span recording is suspended with attribution: a section's I/O (whose
+  /// cost is about to be un-happened by SetStats) must not appear in the
+  /// trace either.
   void SuspendAttribution() { ++attribution_suspended_; }
   void ResumeAttribution() { --attribution_suspended_; }
+
+  // ---- Modeled-clock span tracing (see trace/trace_session.h) ----
+
+  /// Attaches a trace session; every metered call is then recorded as a
+  /// "disk.io" span timestamped with the modeled clock, and OpScope /
+  /// LOB_TRACE_SPAN sites open op and phase spans around it. Pass nullptr
+  /// to detach. The session must outlive the disk's use of it. In
+  /// LOB_TRACING=0 builds the pointer is stored but never consulted: all
+  /// recording hooks are compiled out.
+  void set_trace(TraceSession* trace) { trace_ = trace; }
+  TraceSession* trace() const { return trace_; }
+
+  /// The session span sites should record into right now: the attached
+  /// session, or nullptr while attribution (and hence tracing) is
+  /// suspended by an UnmeteredSection.
+  TraceSession* active_trace() const {
+    return attribution_suspended_ == 0 ? trace_ : nullptr;
+  }
 
  private:
   struct Area {
@@ -127,6 +150,7 @@ class SimDisk {
   IoStats stats_;
   int64_t fail_after_ = -1;  ///< <0: disabled; 0: failing; >0: countdown
   ObsRegistry* obs_ = nullptr;
+  TraceSession* trace_ = nullptr;
   const char* current_op_ = nullptr;
   uint32_t attribution_suspended_ = 0;
 };

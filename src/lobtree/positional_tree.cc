@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "trace/trace_span.h"
 
 namespace lob {
 
@@ -55,6 +56,7 @@ PositionalTree::PositionalTree(const TreeConfig& config) : config_(config) {
 }
 
 StatusOr<PageId> PositionalTree::CreateObject(uint8_t engine) {
+  LOB_TRACE_SPAN(config_.pool->disk(), "tree.create");
   auto seg = config_.meta_area->Allocate(1);
   if (!seg.ok()) return seg.status();
   auto g = config_.pool->FixPage(meta_area_id(), seg->first_page,
@@ -72,6 +74,7 @@ Status PositionalTree::FreeIndexPage(PageId page) {
 }
 
 Status PositionalTree::DestroyObject(PageId root) {
+  LOB_TRACE_SPAN(config_.pool->disk(), "tree.destroy");
   // Free internal nodes depth-first, then the root page itself.
   struct Walker {
     PositionalTree* tree;
@@ -109,6 +112,7 @@ StatusOr<uint64_t> PositionalTree::Size(PageId root) {
 
 StatusOr<PositionalTree::LeafInfo> PositionalTree::FindLeaf(PageId root,
                                                             uint64_t offset) {
+  LOB_TRACE_SPAN(config_.pool->disk(), "tree.descend");
   PageId page = root;
   bool is_root = true;
   uint64_t base = 0;
@@ -313,6 +317,7 @@ StatusOr<PositionalTree::SplitResult> PositionalTree::InsertRec(
 
 Status PositionalTree::InsertLeaf(PageId root, uint64_t at,
                                   const LeafEntry& entry, OpContext* ctx) {
+  LOB_TRACE_SPAN(config_.pool->disk(), "tree.insert");
   if (entry.bytes == 0) return Status::InvalidArgument("empty leaf entry");
   auto size = Size(root);
   if (!size.ok()) return size.status();
@@ -513,6 +518,7 @@ Status PositionalTree::MaybeCollapseRoot(PageId root, OpContext* ctx) {
 StatusOr<LeafEntry> PositionalTree::RemoveLeaf(PageId root,
                                                uint64_t leaf_start,
                                                OpContext* ctx) {
+  LOB_TRACE_SPAN(config_.pool->disk(), "tree.remove");
   auto removed = RemoveRec(root, /*is_root=*/true, leaf_start, ctx);
   if (!removed.ok()) return removed;
   LOB_RETURN_IF_ERROR(MaybeCollapseRoot(root, ctx));
@@ -566,6 +572,7 @@ Status PositionalTree::UpdateRec(PageId page, bool is_root, uint64_t rel,
 
 Status PositionalTree::UpdateLeaf(PageId root, uint64_t offset, int64_t delta,
                                   PageId new_page, OpContext* ctx) {
+  LOB_TRACE_SPAN(config_.pool->disk(), "tree.update");
   return UpdateRec(root, /*is_root=*/true, offset, delta, new_page, ctx);
 }
 

@@ -4,6 +4,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "common/csv.h"
+
 namespace lob {
 
 namespace {
@@ -138,8 +140,11 @@ std::string ObsRegistry::ToCsv() const {
       "op,count,read_calls,write_calls,pages_read,pages_written,seeks,pages,"
       "ms\n";
   for (const auto& [label, rec] : ops_) {
+    // RFC-4180 escaping: labels (and future span names) may contain
+    // commas or quotes; shared with the timeline CSV exporter.
     AppendF(&out, "%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.3f\n",
-            label.c_str(), static_cast<unsigned long long>(rec.count),
+            CsvEscape(label).c_str(),
+            static_cast<unsigned long long>(rec.count),
             static_cast<unsigned long long>(rec.io.read_calls),
             static_cast<unsigned long long>(rec.io.write_calls),
             static_cast<unsigned long long>(rec.io.pages_read),

@@ -1,4 +1,4 @@
-// OpScope: RAII tag for per-operation I/O attribution.
+// OpScope: RAII tag for per-operation I/O attribution and op-span tracing.
 //
 // A manager entry point constructs an OpScope naming the logical operation
 // ("<engine>.<op>", e.g. "esm.append"). While the scope is alive, every
@@ -8,18 +8,31 @@
 // On destruction the scope records the operation's total modeled ms, seeks
 // and pages transferred into the registry's log2 histograms.
 //
-// Scopes nest: an inner scope (e.g. Insert delegating to Append at the end
-// of the object) takes over attribution for its duration, so every I/O
-// call is charged to exactly one — the innermost — operation, and the
-// conservation invariant (sum of attributed stats == global stats) holds
-// regardless of nesting. The outer scope's histograms still cover the full
-// operation, nested work included.
+// Scopes nest with explicit child labels: when an operation delegates to
+// another entry point (e.g. Insert calling Append at the end of the
+// object), the inner scope's effective label is "<outer>.<inner>"
+// ("esm.insert.esm.append"), so the inner work is visibly attributed to
+// its call path instead of silently merging into the outer label or
+// masquerading as a top-level operation. Every I/O call is still charged
+// to exactly one — the innermost — label, so the conservation invariant
+// (sum of attributed stats == global stats) holds regardless of nesting,
+// and the outer scope's histograms still cover the full operation.
+//
+// When a TraceSession is attached to the disk (LOB_TRACING builds), the
+// scope also brackets the operation with a kOp span carrying the same
+// effective label the ledger charges, which is what lets the span<->op
+// conservation invariant (sum of child disk.io span ms == attributed ms)
+// be checked label by label.
 
 #ifndef LOB_OBS_OP_SCOPE_H_
 #define LOB_OBS_OP_SCOPE_H_
 
+#include <string>
+
 #include "iomodel/sim_disk.h"
 #include "obs/obs_registry.h"
+#include "trace/trace_session.h"
+#include "trace/tracing.h"
 
 namespace lob {
 
@@ -28,15 +41,30 @@ class OpScope {
  public:
   /// `label` must outlive the scope; use string literals.
   OpScope(SimDisk* disk, const char* label)
-      : disk_(disk),
-        label_(label),
-        prev_(disk->current_op()),
-        start_(disk->stats()) {
+      : disk_(disk), prev_(disk->current_op()), start_(disk->stats()) {
+    if (prev_ != nullptr) {
+      // Nested scope: compose the call path into the effective label.
+      composed_.reserve(std::char_traits<char>::length(prev_) + 1 +
+                        std::char_traits<char>::length(label));
+      composed_.append(prev_).append(1, '.').append(label);
+      label_ = composed_.c_str();
+    } else {
+      label_ = label;
+    }
     disk_->set_current_op(label_);
+#if LOB_TRACING
+    if (TraceSession* t = disk_->active_trace()) {
+      session_ = t;
+      span_ = t->BeginSpan(label_, SpanKind::kOp, start_.ms);
+    }
+#endif
   }
 
   ~OpScope() {
     disk_->set_current_op(prev_);
+#if LOB_TRACING
+    if (session_ != nullptr) session_->EndSpan(span_, disk_->stats().ms);
+#endif
     ObsRegistry* obs = disk_->obs();
     if (obs == nullptr) return;
     obs->RecordOpEnd(label_, IoStats::Delta(start_, disk_->stats()));
@@ -45,11 +73,19 @@ class OpScope {
   OpScope(const OpScope&) = delete;
   OpScope& operator=(const OpScope&) = delete;
 
+  /// Effective (possibly composed) label this scope attributes to.
+  const char* label() const { return label_; }
+
  private:
   SimDisk* disk_;
   const char* label_;
   const char* prev_;
+  std::string composed_;  ///< backing store for nested "parent.child" labels
   IoStats start_;
+#if LOB_TRACING
+  TraceSession* session_ = nullptr;
+  size_t span_ = 0;
+#endif
 };
 
 }  // namespace lob

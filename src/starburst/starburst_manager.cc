@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "trace/trace_span.h"
 #include "common/math_util.h"
 
 namespace lob {
@@ -255,6 +256,7 @@ Status StarburstManager::Append(ObjectId id, std::string_view data) {
 
 Status StarburstManager::RebuildTail(Descriptor* d, size_t k,
                                      std::string_view tail, OpContext* ctx) {
+  LOB_TRACE_SPAN(sys_->disk(), "sb.rebuild_tail");
   const uint64_t P = page_size();
   LOB_CHECK_LE(k, d->ptrs.size());
   d->ptrs.resize(k);
@@ -316,6 +318,7 @@ Status StarburstManager::RebuildTail(Descriptor* d, size_t k,
 Status StarburstManager::SpliceBytes(ObjectId id, uint64_t offset,
                                      std::string_view inserted,
                                      uint64_t deleted) {
+  LOB_TRACE_SPAN(sys_->disk(), "sb.splice");
   auto d = Load(id);
   if (!d.ok()) return d.status();
   if (offset + deleted > d->used_bytes) {

@@ -1,0 +1,19 @@
+// Compile-time switch for the modeled-clock tracing subsystem.
+//
+// LOB_TRACING defaults to 1 (spans compiled in). Configuring the build
+// with -DLOB_TRACING=OFF makes CMake define LOB_TRACING=0 globally, which
+// compiles every span site — SimDisk's disk.io hook, OpScope's op spans,
+// every LOB_TRACE_SPAN phase marker — down to nothing: no branch, no
+// member, no code. The TraceSession class itself stays compiled (so
+// signatures like SimDisk::set_trace remain stable and benches build
+// unchanged), but it never receives events; scripts/check.sh proves the
+// OFF build reproduces the tracing build's bench output byte for byte.
+
+#ifndef LOB_TRACE_TRACING_H_
+#define LOB_TRACE_TRACING_H_
+
+#ifndef LOB_TRACING
+#define LOB_TRACING 1
+#endif
+
+#endif  // LOB_TRACE_TRACING_H_

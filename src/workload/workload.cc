@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "trace/timeline.h"
 
 namespace lob {
 
@@ -116,6 +117,60 @@ StatusOr<double> CurrentUtilization(StorageSystem* sys,
   return static_cast<double>(*size) / static_cast<double>(allocated);
 }
 
+Status CollectTimelineSample(StorageSystem* sys, LargeObjectManager* mgr,
+                             ObjectId id, uint32_t ops_done,
+                             TimelineSampler* sampler) {
+  TimelineSample s;
+  s.ops_done = ops_done;
+  // The workload's own cumulative modeled cost, captured before the
+  // unmetered state walk below (whose I/O is restored away anyway).
+  s.modeled_ms = sys->stats().ms;
+  StorageSystem::UnmeteredSection unmetered(sys);
+  // The walk reads index pages through the buffer pool; snapshotting the
+  // pool around it keeps the eviction order — and thus every measured
+  // cost after the sample — identical whether or not sampling runs.
+  const BufferPool::State pool_state = sys->pool()->SaveState();
+  struct PoolRestore {
+    StorageSystem* sys;
+    const BufferPool::State* state;
+    ~PoolRestore() { sys->pool()->RestoreState(*state); }
+  } pool_restore{sys, &pool_state};
+  auto size = mgr->Size(id);
+  if (!size.ok()) return size.status();
+  s.object_bytes = *size;
+  s.allocated_bytes = sys->AllocatedBytes();
+  s.utilization = s.allocated_bytes == 0
+                      ? 1.0
+                      : static_cast<double>(s.object_bytes) /
+                            static_cast<double>(s.allocated_bytes);
+  uint64_t seg_min = UINT64_MAX;
+  uint64_t seg_max = 0;
+  uint64_t seg_bytes_sum = 0;
+  LOB_RETURN_IF_ERROR(
+      mgr->VisitSegments(id, [&](uint64_t bytes, uint32_t pages) {
+        (void)pages;
+        s.segments++;
+        seg_bytes_sum += bytes;
+        seg_min = std::min(seg_min, bytes);
+        seg_max = std::max(seg_max, bytes);
+        return Status::OK();
+      }));
+  if (s.segments > 0) {
+    s.seg_bytes_min = seg_min;
+    s.seg_bytes_max = seg_max;
+    s.seg_bytes_mean = static_cast<double>(seg_bytes_sum) /
+                       static_cast<double>(s.segments);
+  }
+  s.free_pages =
+      sys->leaf_area()->free_pages() + sys->meta_area()->free_pages();
+  s.largest_free_extent = std::max(sys->leaf_area()->LargestFreeExtent(),
+                                   sys->meta_area()->LargestFreeExtent());
+  sys->leaf_area()->AccumulateFreeChunks(&s.free_extents);
+  sys->meta_area()->AccumulateFreeChunks(&s.free_extents);
+  sampler->Add(s);
+  return Status::OK();
+}
+
 StatusOr<std::vector<MixPoint>> RunUpdateMix(StorageSystem* sys,
                                              LargeObjectManager* mgr,
                                              ObjectId id,
@@ -123,6 +178,12 @@ StatusOr<std::vector<MixPoint>> RunUpdateMix(StorageSystem* sys,
   Rng rng(spec.seed);
   std::vector<MixPoint> points;
   std::string buf;
+
+  if (spec.timeline != nullptr) {
+    // Post-build baseline: the timeline's op-0 sample.
+    LOB_RETURN_IF_ERROR(
+        CollectTimelineSample(sys, mgr, id, 0, spec.timeline));
+  }
 
   // Delete sizes mirror the immediately preceding insert (paper 4.4).
   uint64_t last_insert_size =
@@ -177,6 +238,13 @@ StatusOr<std::vector<MixPoint>> RunUpdateMix(StorageSystem* sys,
       points.push_back(window);
       window = MixPoint();
       window_read_ms = window_insert_ms = window_delete_ms = 0;
+    }
+    // After the window block, so the final sample's utilization is the
+    // value the final MixPoint just recorded (Fig 7/8 endpoints).
+    if (spec.timeline != nullptr &&
+        (spec.timeline->WantsSample(op) || op == spec.total_ops)) {
+      LOB_RETURN_IF_ERROR(
+          CollectTimelineSample(sys, mgr, id, op, spec.timeline));
     }
   }
   return points;

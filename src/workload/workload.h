@@ -23,6 +23,8 @@
 
 namespace lob {
 
+class TimelineSampler;  // trace/timeline.h
+
 /// Cost of one phase of an experiment.
 struct PhaseResult {
   IoStats io;
@@ -62,6 +64,13 @@ struct MixSpec {
   uint32_t total_ops = 20000;
   uint32_t window_ops = 2000;  ///< one mark per window
   uint64_t seed = 1;
+  /// Optional storage-state sampler (trace/timeline.h): when set,
+  /// RunUpdateMix snapshots utilization, fragmentation and segment
+  /// distributions at op 0 (post-build baseline), every
+  /// timeline->every_n() ops and at the final op — inside an
+  /// UnmeteredSection, so sampling never perturbs the measured costs.
+  /// The final sample's utilization equals the last MixPoint's.
+  TimelineSampler* timeline = nullptr;
 };
 
 /// One mark of the update-mix experiment: averages over the window that
@@ -87,6 +96,15 @@ StatusOr<std::vector<MixPoint>> RunUpdateMix(StorageSystem* sys,
 /// both database areas (valid while the system hosts this single object).
 StatusOr<double> CurrentUtilization(StorageSystem* sys,
                                     LargeObjectManager* mgr, ObjectId id);
+
+/// Takes one TimelineSample of the system's storage state after
+/// `ops_done` mix operations and appends it to `sampler`. The walk
+/// (object size, VisitSegments, buddy free-extent histogram) runs inside
+/// an UnmeteredSection; the sample's modeled_ms is the clock value
+/// *before* the walk, i.e. the workload's own cumulative cost.
+Status CollectTimelineSample(StorageSystem* sys, LargeObjectManager* mgr,
+                             ObjectId id, uint32_t ops_done,
+                             TimelineSampler* sampler);
 
 /// Tiny command line helper: returns the value of --name=value or `def`.
 uint64_t FlagValue(int argc, char** argv, const std::string& name,

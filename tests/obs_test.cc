@@ -147,7 +147,11 @@ TEST(ObsRegistryTest, JsonAndCsvExportShape) {
 // ---------------------------------------------------------------------------
 // OpScope wiring on a bare disk
 
-TEST(OpScopeTest, NestedScopesChargeInnermostLabel) {
+TEST(OpScopeTest, NestedScopesComposeChildLabels) {
+  // A scope opened while another is active charges its I/O to the
+  // composed `parent.child` label, so nested helper ops (e.g. an insert
+  // that internally appends) stay distinguishable from the same helper
+  // invoked at top level instead of silently absorbing its parent's name.
   StorageConfig cfg;
   ObsRegistry obs;
   SimDisk disk(cfg);
@@ -159,15 +163,43 @@ TEST(OpScopeTest, NestedScopesChargeInnermostLabel) {
     ASSERT_TRUE(disk.Write(area, 0, 1, page.data()).ok());
     {
       OpScope inner(&disk, "inner");
+      EXPECT_STREQ(inner.label(), "outer.inner");
       ASSERT_TRUE(disk.Write(area, 1, 1, page.data()).ok());
     }
     ASSERT_TRUE(disk.Write(area, 2, 1, page.data()).ok());
   }
   EXPECT_EQ(obs.ops().at("outer").io.write_calls, 2u);
-  EXPECT_EQ(obs.ops().at("inner").io.write_calls, 1u);
+  EXPECT_EQ(obs.ops().at("outer.inner").io.write_calls, 1u);
+  EXPECT_EQ(obs.ops().count("inner"), 0u);
   // The outer op's histograms cover the whole op, nested I/O included.
   EXPECT_EQ(obs.histograms().at("outer.seeks").max(), 3u);
-  EXPECT_EQ(obs.histograms().at("inner.seeks").max(), 1u);
+  EXPECT_EQ(obs.histograms().at("outer.inner.seeks").max(), 1u);
+  EXPECT_TRUE(obs.ConservationHolds(disk.stats()));
+}
+
+TEST(OpScopeTest, DeepNestingComposesEveryLevel) {
+  StorageConfig cfg;
+  ObsRegistry obs;
+  SimDisk disk(cfg);
+  disk.set_obs(&obs);
+  const AreaId area = disk.CreateArea();
+  std::string page(cfg.page_size, 'x');
+  {
+    OpScope a(&disk, "a");
+    OpScope b(&disk, "b");
+    OpScope c(&disk, "c");
+    EXPECT_STREQ(c.label(), "a.b.c");
+    ASSERT_TRUE(disk.Write(area, 0, 1, page.data()).ok());
+  }
+  EXPECT_EQ(obs.ops().at("a.b.c").io.write_calls, 1u);
+  // Sibling scopes after the nested one re-compose from the parent, not
+  // from the departed sibling.
+  {
+    OpScope a(&disk, "a");
+    { OpScope b(&disk, "b"); }
+    OpScope d(&disk, "d");
+    EXPECT_STREQ(d.label(), "a.d");
+  }
   EXPECT_TRUE(obs.ConservationHolds(disk.stats()));
 }
 

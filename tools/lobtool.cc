@@ -15,6 +15,13 @@
 //       name, the object is first scanned sequentially through its engine
 //       so the ledger shows attributed read costs; image-load I/O shows up
 //       under "(unattributed)". json/csv select the export format.
+//   lobtool trace <op-script> [esm|starburst|eos] [param] [--json=FILE]
+//       replays the op script (workload/trace.h text format: one
+//       "<kind> <offset> <size> <seed>" per line) against a fresh
+//       in-memory system of the chosen engine (default eos) with span
+//       tracing attached, then prints the aggregated span tree with
+//       per-phase modeled-ms rollups. --json additionally writes the raw
+//       Chrome trace-event / Perfetto JSON stream.
 //
 // Every mutating command reopens the image, applies the change, and saves
 // it back - a deliberately simple single-shot model matching the
@@ -28,6 +35,10 @@
 #include <vector>
 
 #include "core/database.h"
+#include "core/factory.h"
+#include "trace/trace_session.h"
+#include "trace/tracing.h"
+#include "workload/trace.h"
 
 using namespace lob;
 
@@ -41,7 +52,9 @@ int Fail(const Status& s) {
 int Usage() {
   std::fprintf(stderr,
                "usage: lobtool <db.img> "
-               "init|create|put|cat|insert|delete|ls|rm|stat|info|stats ...\n");
+               "init|create|put|cat|insert|delete|ls|rm|stat|info|stats ...\n"
+               "       lobtool trace <op-script> [esm|starburst|eos] "
+               "[param] [--json=FILE]\n");
   return 2;
 }
 
@@ -65,10 +78,75 @@ StatusOr<Engine> ParseEngine(const std::string& name) {
   return Status::InvalidArgument("unknown engine (esm|starburst|eos)");
 }
 
+/// `lobtool trace <op-script> [engine] [param] [--json=FILE]`: replay with
+/// span tracing attached and print the per-phase modeled-ms rollup.
+int RunTrace(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string script = argv[2];
+  std::string engine_name = "eos";
+  uint32_t param = 0;
+  std::string json_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "esm" || arg == "starburst" || arg == "eos") {
+      engine_name = arg;
+    } else {
+      param = static_cast<uint32_t>(std::strtoul(arg.c_str(), nullptr, 10));
+    }
+  }
+
+  auto trace = LoadTrace(script);
+  if (!trace.ok()) return Fail(trace.status());
+
+  StorageSystem sys;
+  TraceSession session;
+  sys.disk()->set_trace(&session);
+  std::unique_ptr<LargeObjectManager> mgr;
+  if (engine_name == "esm") {
+    mgr = CreateEsmManager(&sys, param == 0 ? 4 : param);
+  } else if (engine_name == "starburst") {
+    mgr = CreateStarburstManager(&sys);
+  } else {
+    mgr = CreateEosManager(&sys, param == 0 ? 4 : param);
+  }
+  auto id = mgr->Create();
+  if (!id.ok()) return Fail(id.status());
+  auto io = ApplyTrace(&sys, mgr.get(), *id, *trace);
+  if (!io.ok()) return Fail(io.status());
+  sys.disk()->set_trace(nullptr);
+
+  std::printf("replayed %zu ops (%s) from %s\n", trace->ops.size(),
+              engine_name.c_str(), script.c_str());
+  std::printf("modeled I/O: %s\n\n", io->ToString().c_str());
+#if !LOB_TRACING
+  std::printf("note: span tracing compiled out (LOB_TRACING=OFF); the\n"
+              "summary below is empty. Rebuild with -DLOB_TRACING=ON.\n");
+#endif
+  TraceSession::PrintSummary(session.Summarize(), stdout);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      return Fail(Status::NotFound("cannot write " + json_path));
+    }
+    const std::string json = TraceSession::ChromeTraceJson(
+        {{engine_name + " replay of " + script, &session}});
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s (open in https://ui.perfetto.dev)\n",
+                json_path.c_str());
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string image = argv[1];
   const std::string cmd = argv[2];
+
+  if (image == "trace") return RunTrace(argc, argv);
 
   if (cmd == "init") {
     auto db = Database::Create();

@@ -205,6 +205,8 @@ class BenchEngine {
                  std::thread::hardware_concurrency(),
                  BenchProfile::MakeHostNote()),
         json_path_(args.bench_json),
+        // LOBLINT(wallclock): bench-profile self-timing measures the
+        // simulator's own wall-clock cost; it never reaches modeled output.
         start_(std::chrono::steady_clock::now()) {}
 
   ThreadPool* pool() { return &pool_; }
@@ -226,8 +228,10 @@ class BenchEngine {
   /// Records the total wall clock and writes BENCH_<name>.json when
   /// --bench-json was given. Call once, after all output is printed.
   void Finish() {
+    // LOBLINT(wallclock): bench-profile suite timing (BENCH_*.json only).
     const auto end = std::chrono::steady_clock::now();
     profile_.set_suite_wall_ms(
+        // LOBLINT(wallclock): wall-ms goes to BENCH_*.json, not bench stdout.
         std::chrono::duration<double, std::milli>(end - start_).count());
     if (!json_path_.empty()) profile_.WriteJson(json_path_);
   }
@@ -239,6 +243,7 @@ class BenchEngine {
   ParallelRunner runner_;
   BenchProfile profile_;
   std::string json_path_;
+  // LOBLINT(wallclock): bench-profile self-timing state.
   std::chrono::steady_clock::time_point start_;
 };
 

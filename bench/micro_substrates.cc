@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "buddy/buddy_tree.h"
+#include "common/logging.h"
 #include "buffer/op_context.h"
 #include "core/factory.h"
 #include "core/storage_system.h"
@@ -34,7 +35,10 @@ void BM_SimDiskReadCall(benchmark::State& state) {
   SimDisk disk(cfg);
   AreaId a = disk.CreateArea();
   std::vector<char> buf(static_cast<size_t>(state.range(0)) * 4096);
-  disk.Write(a, 0, static_cast<uint32_t>(state.range(0)), buf.data());
+  // A failed setup write would silently benchmark reads of unwritten pages.
+  Status seeded = disk.Write(a, 0, static_cast<uint32_t>(state.range(0)),
+                             buf.data());
+  LOB_CHECK(seeded.ok());
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         disk.Read(a, 0, static_cast<uint32_t>(state.range(0)), buf.data()));
@@ -71,9 +75,13 @@ void BM_TreeFindLeaf(benchmark::State& state) {
   auto root = tree.CreateObject(0);
   uint64_t at = 0;
   for (int i = 0; i < state.range(0); ++i) {
-    tree.InsertLeaf(*root, at, {4096, static_cast<PageId>(100000 + i)},
-                    &ctx);
-    ctx.Finish();
+    // Dropped errors here would measure FindLeaf over a partially built
+    // (or silently empty) tree.
+    Status inserted = tree.InsertLeaf(
+        *root, at, {4096, static_cast<PageId>(100000 + i)}, &ctx);
+    LOB_CHECK(inserted.ok());
+    Status finished = ctx.Finish();
+    LOB_CHECK(finished.ok());
     at += 4096;
   }
   Rng rng(1);
@@ -88,7 +96,8 @@ void BM_EndToEndRead10K(benchmark::State& state) {
   StorageSystem sys;
   auto mgr = CreateEosManager(&sys, 4);
   auto id = mgr->Create();
-  BuildObject(&sys, mgr.get(), *id, 4 * 1024 * 1024, 100 * 1024);
+  auto built = BuildObject(&sys, mgr.get(), *id, 4 * 1024 * 1024, 100 * 1024);
+  LOB_CHECK(built.ok());
   Rng rng(2);
   std::string buf;
   for (auto _ : state) {

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Static-analysis gate, three layers (see CONTRIBUTING.md "Static analysis"):
+#
+#  1. tools/lob_lint.py     -- project-contract rules (determinism,
+#                              attribution, zero-cost-off tracing, header
+#                              hygiene); fixture self-test first, then the
+#                              production tree. Always runs (python3 only).
+#  2. clang-tidy            -- curated .clang-tidy baseline over every
+#                              src/bench/tools/tests TU via
+#                              compile_commands.json. Runs when clang-tidy
+#                              is installed; skipped (with a notice) when
+#                              not -- CI always has it.
+#  3. clang-format          -- --dry-run -Werror over all tracked C++ files.
+#                              Runs when clang-format is installed.
+#
+# The fourth static gate, the [[nodiscard]] Status discipline, needs no
+# separate driver: the normal -Werror build fails on any dropped Status
+# (src/common/status.h).
+#
+# Usage: scripts/lint.sh [build-dir]     (default build dir: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+fail=0
+
+echo "=== [1/3] lob_lint: fixture self-test + production tree ==="
+python3 tools/lob_lint.py --self-test --root .
+python3 tools/lob_lint.py --root .
+
+echo "=== [2/3] clang-tidy (curated baseline: .clang-tidy) ==="
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+    echo "configuring ${BUILD_DIR} to produce compile_commands.json"
+    cmake -B "${BUILD_DIR}" -S . >/dev/null
+  fi
+  # All first-party TUs (skip the build trees and fixtures).
+  mapfile -t tus < <(find src bench tools tests examples \
+    -name '*.cc' -o -name '*.cpp' | grep -v lint_fixtures | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p "${BUILD_DIR}" -quiet "${tus[@]}" || fail=1
+  else
+    for tu in "${tus[@]}"; do
+      clang-tidy -p "${BUILD_DIR}" --quiet "$tu" || fail=1
+    done
+  fi
+else
+  echo "clang-tidy not found: skipping (install clang-tidy to run the"
+  echo "curated bugprone/performance/nodiscard baseline locally; CI runs it)"
+fi
+
+echo "=== [3/3] clang-format --dry-run -Werror ==="
+if command -v clang-format >/dev/null 2>&1; then
+  mapfile -t files < <(find src bench tools tests examples \
+    \( -name '*.cc' -o -name '*.cpp' -o -name '*.h' \) \
+    | grep -v lint_fixtures | sort)
+  clang-format --dry-run -Werror "${files[@]}" || fail=1
+else
+  echo "clang-format not found: skipping format check"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED"
+  exit 1
+fi
+echo "lint: OK"

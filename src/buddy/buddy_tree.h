@@ -35,11 +35,11 @@ class BuddyTree {
   /// power-of-two chunk is carved and its tail trimmed. On success returns
   /// the starting block. Fails with NoSpace when no aligned chunk of
   /// RoundUpPowerOfTwo(n_blocks) blocks is free.
-  StatusOr<uint32_t> Allocate(uint32_t n_blocks);
+  [[nodiscard]] StatusOr<uint32_t> Allocate(uint32_t n_blocks);
 
   /// Frees `n_blocks` starting at `start`. The range may be any sub-range
   /// of previously allocated blocks. Freeing a free block is Corruption.
-  Status Free(uint32_t start, uint32_t n_blocks);
+  [[nodiscard]] Status Free(uint32_t start, uint32_t n_blocks);
 
   /// Size in blocks of the largest free aligned chunk (0 when full).
   uint32_t LargestFree() const { return longest_[1]; }

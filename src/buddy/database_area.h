@@ -48,12 +48,13 @@ class DatabaseArea {
 
   /// Allocates a segment of exactly `n_pages` physically adjacent pages
   /// (internally a power-of-two chunk with the tail trimmed).
-  StatusOr<Segment> Allocate(uint32_t n_pages);
+  [[nodiscard]] StatusOr<Segment> Allocate(uint32_t n_pages);
 
   /// Frees any sub-range of previously allocated pages.
-  Status Free(PageId first_page, uint32_t n_pages);
+  [[nodiscard]] Status Free(PageId first_page, uint32_t n_pages);
 
   /// Frees a whole segment.
+  [[nodiscard]]
   Status Free(const Segment& seg) { return Free(seg.first_page, seg.pages); }
 
   AreaId id() const { return area_; }
@@ -91,7 +92,7 @@ class DatabaseArea {
   /// Rebuilds allocator state from the directory blocks already present on
   /// the underlying disk (used when reopening a saved database image).
   /// Must be called on a freshly constructed area.
-  Status RecoverSpaces(const SimDisk& disk);
+  [[nodiscard]] Status RecoverSpaces(const SimDisk& disk);
 
  private:
   PageId DirectoryPage(uint32_t space) const {
@@ -100,7 +101,7 @@ class DatabaseArea {
   PageId DataBase(uint32_t space) const { return DirectoryPage(space) + 1; }
 
   /// Creates space `spaces_.size()` with a fresh all-free directory.
-  Status AddSpace();
+  [[nodiscard]] Status AddSpace();
 
   BufferPool* pool_;
   AreaId area_;

@@ -467,6 +467,23 @@ Status BufferPool::Invalidate(AreaId area, PageId first, uint32_t n_pages) {
   return Status::OK();
 }
 
+std::vector<BufferPool::CachedPage> BufferPool::CachedPagesSorted() const {
+  // Walk the frame table (a vector, slot order) rather than the unordered
+  // lookup map, then pin the ordering explicitly: the result must be a
+  // pure function of *which* pages are cached, never of insertion order
+  // or hash seeding.
+  std::vector<CachedPage> out;
+  out.reserve(frames_.size());
+  for (const Frame& f : frames_) {
+    if (f.valid) out.push_back({f.area, f.page, f.dirty});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CachedPage& a, const CachedPage& b) {
+              return a.area != b.area ? a.area < b.area : a.page < b.page;
+            });
+  return out;
+}
+
 bool BufferPool::IsCached(AreaId area, PageId page) const {
   return FindSlot(area, page) >= 0;
 }

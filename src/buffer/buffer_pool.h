@@ -71,13 +71,14 @@ class BufferPool {
 
   /// Pins `page` of `area` in the pool. With kRead the page is fetched on a
   /// miss (one 1-page I/O call); with kNew the frame is zero-initialized.
+  [[nodiscard]]
   StatusOr<PageGuard> FixPage(AreaId area, PageId page, FixMode mode);
 
   /// Reads `n_bytes` starting `byte_off` bytes into the segment that begins
   /// at page `seg_first`, into `dst`, applying the hybrid policy above.
   /// `seg_valid_bytes` is the number of meaningful bytes in the segment
   /// (bytes past it read as zero without validation).
-  Status ReadSegmentRange(AreaId area, PageId seg_first,
+  [[nodiscard]] Status ReadSegmentRange(AreaId area, PageId seg_first,
                           uint64_t seg_valid_bytes, uint64_t byte_off,
                           uint64_t n_bytes, char* dst);
 
@@ -87,7 +88,7 @@ class BufferPool {
   /// past the valid bytes are not read. Small runs stay dirty in the pool
   /// (flush with FlushRun at operation end); large runs are written to disk
   /// immediately in one call.
-  Status WriteSegmentRange(AreaId area, PageId seg_first,
+  [[nodiscard]] Status WriteSegmentRange(AreaId area, PageId seg_first,
                            uint64_t seg_valid_bytes, uint64_t byte_off,
                            uint64_t n_bytes, const char* src);
 
@@ -96,19 +97,20 @@ class BufferPool {
   /// page). Cached copies of the covered pages are refreshed. Use for
   /// shadow copies and newly created segments: "copy, update, flush" with
   /// one sequential write (paper 3.3/3.4).
+  [[nodiscard]]
   Status WriteFreshSegment(AreaId area, PageId first, const char* data,
                            uint64_t n_bytes);
 
   /// Writes back every dirty cached page in [first, first+n_pages) using one
   /// I/O call per maximal contiguous dirty run; pages stay cached clean.
-  Status FlushRun(AreaId area, PageId first, uint32_t n_pages);
+  [[nodiscard]] Status FlushRun(AreaId area, PageId first, uint32_t n_pages);
 
   /// Writes back all dirty pages (one call per page run per area).
-  Status FlushAll();
+  [[nodiscard]] Status FlushAll();
 
   /// Drops cached copies of [first, first+n_pages): dirty pages are *not*
   /// written back (their content is superseded); pinned pages are an error.
-  Status Invalidate(AreaId area, PageId first, uint32_t n_pages);
+  [[nodiscard]] Status Invalidate(AreaId area, PageId first, uint32_t n_pages);
 
   /// True if the page currently resides in the pool.
   bool IsCached(AreaId area, PageId page) const;
@@ -121,6 +123,28 @@ class BufferPool {
   /// Number of FixPage calls served without disk I/O (for tests/metrics).
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+
+  /// One entry of the ordered cached-page enumeration below.
+  struct CachedPage {
+    AreaId area = 0;
+    PageId page = kInvalidPage;
+    bool dirty = false;
+
+    bool operator==(const CachedPage& o) const {
+      return area == o.area && page == o.page && dirty == o.dirty;
+    }
+  };
+
+  /// Ordered enumeration of the cached pages, sorted by (area, page).
+  ///
+  /// This is the only sanctioned way to walk the pool's contents for
+  /// stats/timeline/trace output: the internal lookup table is an
+  /// unordered_map whose iteration order is hash- and history-dependent,
+  /// so enumerating it directly would leak nondeterministic ordering into
+  /// exporters (tools/lob_lint.py rule LOB002/unordered-iter rejects such
+  /// iteration; the buffer_pool_test permutation test pins this function's
+  /// insertion-order independence).
+  std::vector<CachedPage> CachedPagesSorted() const;
 
  private:
   friend class PageGuard;
@@ -146,13 +170,14 @@ class BufferPool {
 
   /// Picks a victim frame (unpinned; clean preferred, then LRU), writing a
   /// dirty victim back. Returns slot or error if everything is pinned.
-  StatusOr<uint32_t> GetFreeSlot();
+  [[nodiscard]] StatusOr<uint32_t> GetFreeSlot();
 
   /// Evicts whatever lives in `slot` (must be unpinned), flushing if dirty.
-  Status EvictSlot(uint32_t slot);
+  [[nodiscard]] Status EvictSlot(uint32_t slot);
 
   /// Flushes (if dirty) and drops any cached pages within the range.
   /// Fails if one of them is pinned.
+  [[nodiscard]]
   Status FlushAndDropRange(AreaId area, PageId first, uint32_t n_pages);
 
   void Unpin(uint32_t slot);

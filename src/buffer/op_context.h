@@ -53,7 +53,7 @@ class OpContext {
   /// the first error is returned, and the context is cleared regardless:
   /// a context reused after a failed operation must not re-flush stale
   /// ranges or suppress legitimate shadowing of the next operation.
-  Status Finish() {
+  [[nodiscard]] Status Finish() {
     Status first_error = Status::OK();
     for (const auto& d : deferred_) {
       Status s = pool_->FlushRun(d.area, d.first, d.pages);

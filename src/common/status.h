@@ -12,6 +12,8 @@
 #include <utility>
 #include <variant>
 
+#include "common/logging.h"
+
 namespace lob {
 
 /// Error categories used across the library.
@@ -30,7 +32,14 @@ enum class StatusCode : uint8_t {
 const char* StatusCodeToString(StatusCode code);
 
 /// Result of a fallible operation: either OK or a code plus message.
-class Status {
+///
+/// The class itself is [[nodiscard]]: any expression that produces a Status
+/// by value and drops it is a compile error under -Werror. The PR 1
+/// OpContext::Finish state leak was exactly a silently dropped error path;
+/// this attribute makes that class of bug unrepresentable. To discard a
+/// Status on purpose, route it through LOB_IGNORE_STATUS(expr) with a
+/// comment explaining why losing the error is sound at that call site.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -60,12 +69,12 @@ class Status {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "OK" or "<Code>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   bool operator==(const Status& other) const { return code_ == other.code_; }
 
@@ -76,15 +85,20 @@ class Status {
 
 /// Either a value of type T or a non-OK Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status)  // NOLINT(google-explicit-constructor)
-      : rep_(std::move(status)) {}
+      : rep_(std::move(status)) {
+    // A StatusOr built from a Status must carry an error: an OK status
+    // here would produce a valueless StatusOr whose ok() is false while
+    // status().ok() is true — a state no caller can handle correctly.
+    LOB_CHECK(!std::get<Status>(rep_).ok());
+  }
   StatusOr(T value)  // NOLINT(google-explicit-constructor)
       : rep_(std::move(value)) {}
 
-  bool ok() const { return std::holds_alternative<T>(rep_); }
-  const Status& status() const {
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(rep_); }
+  [[nodiscard]] const Status& status() const {
     static const Status kOk;
     if (ok()) return kOk;
     return std::get<Status>(rep_);
@@ -105,6 +119,20 @@ class StatusOr {
   do {                                           \
     ::lob::Status lob_return_if_error_s = (expr); \
     if (!lob_return_if_error_s.ok()) return lob_return_if_error_s; \
+  } while (0)
+
+/// Deliberately discards the Status produced by `expr`.
+///
+/// Status is a [[nodiscard]] type, so plainly dropping one is a compile
+/// error. The only legitimate discards are best-effort paths where the
+/// error genuinely cannot be acted on (e.g. cleanup I/O on a path that is
+/// already returning a different error). Every use must carry a comment
+/// justifying why the error is unactionable — tools/lob_lint.py and code
+/// review treat a bare LOB_IGNORE_STATUS as a defect.
+#define LOB_IGNORE_STATUS(expr)                 \
+  do {                                          \
+    ::lob::Status lob_ignore_status_s = (expr); \
+    (void)lob_ignore_status_s;                  \
   } while (0)
 
 }  // namespace lob

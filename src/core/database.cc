@@ -93,7 +93,14 @@ StatusOr<ObjectId> Database::CreateObject(std::string_view name,
   if (!id.ok()) return id;
   Status bound = catalog_->Put(name, *id);
   if (!bound.ok()) {
-    (void)(*mgr)->Destroy(*id);
+    // Best-effort rollback: the operation already fails with the catalog
+    // error. A rollback failure additionally leaks the fresh object's
+    // pages — survivable, but it must not pass silently.
+    Status rollback = (*mgr)->Destroy(*id);
+    if (!rollback.ok()) {
+      LOB_LOG_WARN("CreateObject rollback failed, object %u leaked: %s",
+                   *id, rollback.ToString().c_str());
+    }
     return bound;
   }
   return id;

@@ -27,41 +27,42 @@ namespace lob {
 class Database {
  public:
   /// Creates a fresh, empty database.
-  static StatusOr<std::unique_ptr<Database>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<Database>> Create(
       const StorageConfig& config = StorageConfig());
 
   /// Reopens a database previously saved with Save().
-  static StatusOr<std::unique_ptr<Database>> Open(
+  [[nodiscard]] static StatusOr<std::unique_ptr<Database>> Open(
       const std::string& path, const StorageConfig& config = StorageConfig());
 
   /// Flushes all buffered state and writes the disk image to `path`.
-  Status Save(const std::string& path);
+  [[nodiscard]] Status Save(const std::string& path);
 
   /// Creates a named object with the given engine. `parameter` is the
   /// leaf size in pages for ESM, the segment size threshold for EOS, and
   /// ignored for Starburst.
+  [[nodiscard]]
   StatusOr<ObjectId> CreateObject(std::string_view name, Engine engine,
                                   uint32_t parameter = 4);
 
   /// Looks up a named object.
-  StatusOr<ObjectId> Lookup(std::string_view name);
+  [[nodiscard]] StatusOr<ObjectId> Lookup(std::string_view name);
 
   /// Destroys a named object and unbinds it.
-  Status DropObject(std::string_view name);
+  [[nodiscard]] Status DropObject(std::string_view name);
 
   /// Which engine stores the object (read from its root/descriptor page).
-  StatusOr<Engine> ObjectEngine(ObjectId id);
+  [[nodiscard]] StatusOr<Engine> ObjectEngine(ObjectId id);
 
   /// Manager able to operate on the given engine's objects. The manager
   /// is cached; ESM/EOS managers are instantiated per parameter value.
-  StatusOr<LargeObjectManager*> ManagerFor(Engine engine,
+  [[nodiscard]] StatusOr<LargeObjectManager*> ManagerFor(Engine engine,
                                            uint32_t parameter = 4);
 
   /// Convenience: manager for a *named* object, resolved via its root.
   /// Note: the structural parameter (leaf size / threshold) is not stored
   /// per object; the default manager of the engine is returned. Pass the
   /// parameter explicitly for non-default configurations.
-  StatusOr<LargeObjectManager*> ManagerForObject(ObjectId id,
+  [[nodiscard]] StatusOr<LargeObjectManager*> ManagerForObject(ObjectId id,
                                                  uint32_t parameter = 4);
 
   StorageSystem* sys() { return sys_.get(); }
@@ -70,8 +71,8 @@ class Database {
  private:
   Database() = default;
 
-  Status InitFresh();
-  Status InitFromImage();
+  [[nodiscard]] Status InitFresh();
+  [[nodiscard]] Status InitFromImage();
 
   std::unique_ptr<StorageSystem> sys_;
   std::unique_ptr<ObjectCatalog> catalog_;

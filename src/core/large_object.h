@@ -56,52 +56,54 @@ class LargeObjectManager {
   virtual ~LargeObjectManager() = default;
 
   /// Creates an empty object and returns its id.
-  virtual StatusOr<ObjectId> Create() = 0;
+  [[nodiscard]] virtual StatusOr<ObjectId> Create() = 0;
 
   /// Destroys the object, freeing every page it owns.
-  virtual Status Destroy(ObjectId id) = 0;
+  [[nodiscard]] virtual Status Destroy(ObjectId id) = 0;
 
   /// Logical size in bytes.
-  virtual StatusOr<uint64_t> Size(ObjectId id) = 0;
+  [[nodiscard]] virtual StatusOr<uint64_t> Size(ObjectId id) = 0;
 
   /// Reads `n` bytes at `offset` into `out` (resized to `n`).
-  virtual Status Read(ObjectId id, uint64_t offset, uint64_t n,
+  [[nodiscard]] virtual Status Read(ObjectId id, uint64_t offset, uint64_t n,
                       std::string* out) = 0;
 
   /// Appends `data` at the end of the object.
-  virtual Status Append(ObjectId id, std::string_view data) = 0;
+  [[nodiscard]] virtual Status Append(ObjectId id, std::string_view data) = 0;
 
   /// Inserts `data` before byte `offset` (offset == size appends).
-  virtual Status Insert(ObjectId id, uint64_t offset,
+  [[nodiscard]] virtual Status Insert(ObjectId id, uint64_t offset,
                         std::string_view data) = 0;
 
   /// Deletes `n` bytes starting at `offset`.
+  [[nodiscard]]
   virtual Status Delete(ObjectId id, uint64_t offset, uint64_t n) = 0;
 
   /// Overwrites bytes [offset, offset + data.size()) without changing the
   /// object length.
-  virtual Status Replace(ObjectId id, uint64_t offset,
+  [[nodiscard]] virtual Status Replace(ObjectId id, uint64_t offset,
                          std::string_view data) = 0;
 
   /// Walks the object's structure and reports storage accounting. Intended
   /// for audits/tests; wrap in StorageSystem::UnmeteredSection when the
   /// walk must not count toward measured I/O.
+  [[nodiscard]]
   virtual StatusOr<ObjectStorageStats> GetStorageStats(ObjectId id) = 0;
 
   /// Structural self-check (invariants of the specific engine).
-  virtual Status Validate(ObjectId id) = 0;
+  [[nodiscard]] virtual Status Validate(ObjectId id) = 0;
 
   /// Calls `fn(bytes, pages)` for every data segment of the object, left
   /// to right (`bytes` = useful bytes, `pages` = allocated pages). Useful
   /// for analyzing how updates degrade segment sizes (paper 4.4.2).
-  virtual Status VisitSegments(
+  [[nodiscard]] virtual Status VisitSegments(
       ObjectId id,
       const std::function<Status(uint64_t bytes, uint32_t pages)>& fn) = 0;
 
   /// Releases growth slack: frees allocated-but-unused whole pages at the
   /// right end of the object ("the last segment is trimmed", paper 2.2).
   /// A no-op for engines without over-allocation (ESM).
-  virtual Status Trim(ObjectId id) = 0;
+  [[nodiscard]] virtual Status Trim(ObjectId id) = 0;
 
   virtual Engine engine() const = 0;
 };

@@ -26,34 +26,36 @@ class LongList {
   LongList(LargeObjectManager* mgr, uint32_t element_size);
 
   /// Creates an empty list and returns its object id.
-  StatusOr<ObjectId> Create();
+  [[nodiscard]] StatusOr<ObjectId> Create();
 
   /// Destroys the underlying object.
-  Status Destroy(ObjectId id);
+  [[nodiscard]] Status Destroy(ObjectId id);
 
   /// Number of elements.
-  StatusOr<uint64_t> Size(ObjectId id);
+  [[nodiscard]] StatusOr<uint64_t> Size(ObjectId id);
 
   /// Appends one element (`elem` points at element_size bytes).
-  Status PushBack(ObjectId id, const void* elem);
+  [[nodiscard]] Status PushBack(ObjectId id, const void* elem);
 
   /// Appends `count` packed elements.
+  [[nodiscard]]
   Status AppendMany(ObjectId id, const void* elems, uint64_t count);
 
   /// Inserts one element before position `index` (index == size appends).
-  Status Insert(ObjectId id, uint64_t index, const void* elem);
+  [[nodiscard]] Status Insert(ObjectId id, uint64_t index, const void* elem);
 
   /// Removes the element at `index`.
-  Status Remove(ObjectId id, uint64_t index);
+  [[nodiscard]] Status Remove(ObjectId id, uint64_t index);
 
   /// Reads the element at `index` into `out` (element_size bytes).
-  Status Get(ObjectId id, uint64_t index, void* out);
+  [[nodiscard]] Status Get(ObjectId id, uint64_t index, void* out);
 
   /// Reads `count` consecutive elements starting at `first`.
+  [[nodiscard]]
   Status GetRange(ObjectId id, uint64_t first, uint64_t count, void* out);
 
   /// Overwrites the element at `index`.
-  Status Set(ObjectId id, uint64_t index, const void* elem);
+  [[nodiscard]] Status Set(ObjectId id, uint64_t index, const void* elem);
 
   uint32_t element_size() const { return element_size_; }
   LargeObjectManager* manager() const { return mgr_; }

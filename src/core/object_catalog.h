@@ -33,33 +33,33 @@ class ObjectCatalog {
   explicit ObjectCatalog(StorageSystem* sys);
 
   /// Allocates and formats an empty catalog; returns its head page.
-  StatusOr<PageId> Create();
+  [[nodiscard]] StatusOr<PageId> Create();
 
   /// Opens an existing catalog rooted at `head` (validates the magic).
-  Status Open(PageId head);
+  [[nodiscard]] Status Open(PageId head);
 
   /// Binds `name` to `id`. Fails with InvalidArgument if the name is
   /// empty, longer than 255 bytes, or already bound.
-  Status Put(std::string_view name, ObjectId id);
+  [[nodiscard]] Status Put(std::string_view name, ObjectId id);
 
   /// Looks a name up.
-  StatusOr<ObjectId> Get(std::string_view name);
+  [[nodiscard]] StatusOr<ObjectId> Get(std::string_view name);
 
   /// Removes a binding (NotFound if absent). The object itself is not
   /// destroyed - the catalog only stores references.
-  Status Remove(std::string_view name);
+  [[nodiscard]] Status Remove(std::string_view name);
 
   /// True if the name is bound.
-  StatusOr<bool> Contains(std::string_view name);
+  [[nodiscard]] StatusOr<bool> Contains(std::string_view name);
 
   /// All bindings, in chain order.
-  StatusOr<std::vector<std::pair<std::string, ObjectId>>> List();
+  [[nodiscard]] StatusOr<std::vector<std::pair<std::string, ObjectId>>> List();
 
   /// Number of bindings.
-  StatusOr<uint64_t> Size();
+  [[nodiscard]] StatusOr<uint64_t> Size();
 
   /// Frees every catalog page (bindings only; objects survive).
-  Status Drop();
+  [[nodiscard]] Status Drop();
 
   PageId head() const { return head_; }
 
@@ -72,10 +72,11 @@ class ObjectCatalog {
   AreaId area_id() const { return sys_->meta_area()->id(); }
 
   /// Parses the entries of one catalog page.
+  [[nodiscard]]
   Status ReadPage(PageId page, std::vector<Entry>* entries, PageId* next);
 
   /// Rewrites one catalog page from an entry list (must fit).
-  Status WritePage(PageId page, const std::vector<Entry>& entries,
+  [[nodiscard]] Status WritePage(PageId page, const std::vector<Entry>& entries,
                    PageId next);
 
   /// Bytes an entry occupies on the page.

@@ -38,10 +38,10 @@ class ObjectWriter {
 
   /// Stages `data` for appending; issues Append calls as the staging
   /// buffer fills.
-  Status Write(std::string_view data);
+  [[nodiscard]] Status Write(std::string_view data);
 
   /// Appends everything staged so far.
-  Status Flush();
+  [[nodiscard]] Status Flush();
 
   /// Bytes accepted by Write so far (staged + appended).
   uint64_t bytes_written() const { return bytes_written_; }
@@ -54,7 +54,7 @@ class ObjectWriter {
 
  private:
   /// Records the first failure (later successes do not clear it).
-  Status Note(Status s) {
+  [[nodiscard]] Status Note(Status s) {
     if (!s.ok() && last_status_.ok()) last_status_ = s;
     return s;
   }
@@ -80,19 +80,19 @@ class ObjectReader {
 
   /// Reads up to `n` bytes into `out` (resized to what was read; empty at
   /// end of object). Short reads happen only at the end.
-  Status Read(uint64_t n, std::string* out);
+  [[nodiscard]] Status Read(uint64_t n, std::string* out);
 
   /// Repositions the cursor (drops buffered read-ahead if outside it).
-  Status Seek(uint64_t offset);
+  [[nodiscard]] Status Seek(uint64_t offset);
 
   /// Cursor position.
   uint64_t Tell() const { return position_; }
 
   /// True when the cursor is at or past the end of the object.
-  StatusOr<bool> AtEnd();
+  [[nodiscard]] StatusOr<bool> AtEnd();
 
  private:
-  Status FillBuffer();
+  [[nodiscard]] Status FillBuffer();
 
   LargeObjectManager* mgr_;
   ObjectId id_;

@@ -50,7 +50,7 @@ class StorageSystem {
   void ResetStats() { disk_->ResetStats(); }
 
   /// Writes back every dirty buffered page (roots included).
-  Status FlushAll() { return pool_->FlushAll(); }
+  [[nodiscard]] Status FlushAll() { return pool_->FlushAll(); }
 
   /// Bytes of disk space currently allocated to segments (leaf area plus
   /// meta area); the denominator of the paper's storage utilization metric.

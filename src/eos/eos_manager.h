@@ -54,21 +54,25 @@ class EosManager : public LargeObjectManager {
  public:
   EosManager(StorageSystem* sys, const EosOptions& options);
 
-  StatusOr<ObjectId> Create() override;
-  Status Destroy(ObjectId id) override;
-  StatusOr<uint64_t> Size(ObjectId id) override;
-  Status Read(ObjectId id, uint64_t offset, uint64_t n,
+  [[nodiscard]] StatusOr<ObjectId> Create() override;
+  [[nodiscard]] Status Destroy(ObjectId id) override;
+  [[nodiscard]] StatusOr<uint64_t> Size(ObjectId id) override;
+  [[nodiscard]] Status Read(ObjectId id, uint64_t offset, uint64_t n,
               std::string* out) override;
-  Status Append(ObjectId id, std::string_view data) override;
+  [[nodiscard]] Status Append(ObjectId id, std::string_view data) override;
+  [[nodiscard]]
   Status Insert(ObjectId id, uint64_t offset, std::string_view data) override;
+  [[nodiscard]]
   Status Delete(ObjectId id, uint64_t offset, uint64_t n) override;
+  [[nodiscard]]
   Status Replace(ObjectId id, uint64_t offset, std::string_view data) override;
+  [[nodiscard]]
   StatusOr<ObjectStorageStats> GetStorageStats(ObjectId id) override;
-  Status Validate(ObjectId id) override;
-  Status VisitSegments(
+  [[nodiscard]] Status Validate(ObjectId id) override;
+  [[nodiscard]] Status VisitSegments(
       ObjectId id,
       const std::function<Status(uint64_t, uint32_t)>& fn) override;
-  Status Trim(ObjectId id) override;
+  [[nodiscard]] Status Trim(ObjectId id) override;
   Engine engine() const override { return Engine::kEos; }
 
   const EosOptions& options() const { return options_; }
@@ -82,42 +86,47 @@ class EosManager : public LargeObjectManager {
     return static_cast<uint32_t>((bytes + page_size() - 1) / page_size());
   }
 
+  [[nodiscard]]
   Status ReadLeaf(const PositionalTree::LeafInfo& leaf, uint64_t off,
                   uint64_t n, char* dst);
 
   /// Frees `pages` pages of a segment starting at `page`.
-  Status FreePages(PageId page, uint32_t pages);
+  [[nodiscard]] Status FreePages(PageId page, uint32_t pages);
 
   /// Allocates a fresh segment of exactly PagesFor(content) pages and
   /// writes `content` into it.
+  [[nodiscard]]
   StatusOr<PageId> WriteNewSegment(std::string_view content, OpContext* ctx);
 
   /// Frees the allocated-but-unused tail pages of the last segment so
   /// that, for the duration of a structural update, every segment is
   /// exactly PagesFor(bytes) pages long.
-  Status TrimLastSlack(ObjectId id, OpContext* ctx);
+  [[nodiscard]] Status TrimLastSlack(ObjectId id, OpContext* ctx);
 
   /// Recomputes the root aux word (= allocated pages of the last leaf)
   /// after a structural update.
-  Status RefreshAux(ObjectId id);
+  [[nodiscard]] Status RefreshAux(ObjectId id);
 
   /// Inserts `data` as new leaf segments starting at object offset `at`
   /// (as few segments as possible).
+  [[nodiscard]]
   Status InsertFreshSegments(ObjectId id, uint64_t at, std::string_view data,
                              OpContext* ctx);
 
   /// Repairs threshold violations among adjacent leaves overlapping
   /// [lo, hi].
-  Status EnforceThreshold(ObjectId id, uint64_t lo, uint64_t hi,
+  [[nodiscard]] Status EnforceThreshold(ObjectId id, uint64_t lo, uint64_t hi,
                           OpContext* ctx);
 
   /// Merges leaf `b` into leaf `a` (logically adjacent, a before b).
+  [[nodiscard]]
   Status MergeLeaves(ObjectId id, const PositionalTree::LeafInfo& a,
                      const PositionalTree::LeafInfo& b, OpContext* ctx);
 
   /// Moves bytes between the adjacent leaves `a` and `b` (exactly one of
   /// which is below T pages' worth) so both reach the threshold: whole
   /// pages off b's front when a is small, the tail of a when b is small.
+  [[nodiscard]]
   Status ShuffleLeaves(ObjectId id, const PositionalTree::LeafInfo& a,
                        const PositionalTree::LeafInfo& b, OpContext* ctx);
 

@@ -50,21 +50,25 @@ class EsmManager : public LargeObjectManager {
  public:
   EsmManager(StorageSystem* sys, const EsmOptions& options);
 
-  StatusOr<ObjectId> Create() override;
-  Status Destroy(ObjectId id) override;
-  StatusOr<uint64_t> Size(ObjectId id) override;
-  Status Read(ObjectId id, uint64_t offset, uint64_t n,
+  [[nodiscard]] StatusOr<ObjectId> Create() override;
+  [[nodiscard]] Status Destroy(ObjectId id) override;
+  [[nodiscard]] StatusOr<uint64_t> Size(ObjectId id) override;
+  [[nodiscard]] Status Read(ObjectId id, uint64_t offset, uint64_t n,
               std::string* out) override;
-  Status Append(ObjectId id, std::string_view data) override;
+  [[nodiscard]] Status Append(ObjectId id, std::string_view data) override;
+  [[nodiscard]]
   Status Insert(ObjectId id, uint64_t offset, std::string_view data) override;
+  [[nodiscard]]
   Status Delete(ObjectId id, uint64_t offset, uint64_t n) override;
+  [[nodiscard]]
   Status Replace(ObjectId id, uint64_t offset, std::string_view data) override;
+  [[nodiscard]]
   StatusOr<ObjectStorageStats> GetStorageStats(ObjectId id) override;
-  Status Validate(ObjectId id) override;
-  Status VisitSegments(
+  [[nodiscard]] Status Validate(ObjectId id) override;
+  [[nodiscard]] Status VisitSegments(
       ObjectId id,
       const std::function<Status(uint64_t, uint32_t)>& fn) override;
-  Status Trim(ObjectId id) override {
+  [[nodiscard]] Status Trim(ObjectId id) override {
     OpScope obs_scope(sys_->disk(), "esm.trim");
     return tree_->Size(id).status();  // fixed-size leaves: nothing to trim
   }
@@ -80,32 +84,37 @@ class EsmManager : public LargeObjectManager {
   AreaId leaf_area_id() const { return sys_->leaf_area()->id(); }
 
   /// Reads `n` bytes at `off` within a leaf holding `bytes` useful bytes.
+  [[nodiscard]]
   Status ReadLeaf(PageId page, uint64_t bytes, uint64_t off, uint64_t n,
                   char* dst);
 
   /// Allocates a leaf segment and writes `content` into its first pages;
   /// schedules the dirty run for end-of-operation flush.
+  [[nodiscard]]
   StatusOr<PageId> WriteNewLeaf(std::string_view content, OpContext* ctx);
 
   /// Frees a leaf segment, dropping any buffered copies of its pages.
-  Status FreeLeaf(PageId page);
+  [[nodiscard]] Status FreeLeaf(PageId page);
 
   /// Appends within the rightmost leaf (no overflow). In place: the leaf is
   /// not shadowed (paper 3.3).
+  [[nodiscard]]
   Status AppendInPlace(ObjectId id, const PositionalTree::LeafInfo& last,
                        std::string_view data, OpContext* ctx);
 
   /// Overflow append: redistribution per paper 4.2.
-  Status AppendWithRedistribution(ObjectId id,
+  [[nodiscard]] Status AppendWithRedistribution(ObjectId id,
                                   std::vector<PositionalTree::LeafInfo> parts,
                                   std::string_view data, OpContext* ctx);
 
   /// Rewrites one leaf with new content of equal-or-different size
   /// (shadowed). `delta` = content.size() - old bytes.
+  [[nodiscard]]
   Status RewriteLeaf(ObjectId id, const PositionalTree::LeafInfo& leaf,
                      std::string_view content, OpContext* ctx);
 
   /// Merges/borrows the underfull leaf at `offset` with a sibling.
+  [[nodiscard]]
   Status FixupUnderflow(ObjectId id, uint64_t offset, OpContext* ctx);
 
   StorageSystem* sys_;

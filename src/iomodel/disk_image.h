@@ -22,13 +22,14 @@
 namespace lob {
 
 /// Writes every present page of every area to `path` (overwrites).
+[[nodiscard]]
 Status SaveDiskImage(const SimDisk& disk, const std::string& path);
 
 /// Loads an image into `disk`, which must have the same page size and
 /// either no areas (they are created) or exactly the image's area count
 /// with nothing written yet. Restores the pages; I/O counters are reset
 /// afterwards (loading is not simulated work).
-Status LoadDiskImage(SimDisk* disk, const std::string& path);
+[[nodiscard]] Status LoadDiskImage(SimDisk* disk, const std::string& path);
 
 }  // namespace lob
 

@@ -56,9 +56,11 @@ class SimDisk {
   /// `dst` (which must hold n_pages * page_size bytes). One I/O call:
   /// costs one seek plus n_pages transfers. Pages never written read as
   /// zeros.
+  [[nodiscard]]
   Status Read(AreaId area, PageId first, uint32_t n_pages, void* dst);
 
   /// Writes `n_pages` physically adjacent pages from `src`. One I/O call.
+  [[nodiscard]]
   Status Write(AreaId area, PageId first, uint32_t n_pages, const void* src);
 
   /// Accumulated I/O counters since construction or the last ResetStats().
@@ -138,6 +140,7 @@ class SimDisk {
     std::vector<std::unique_ptr<char[]>> pages;
   };
 
+  [[nodiscard]]
   Status CheckRange(AreaId area, PageId first, uint32_t n_pages) const;
   char* PageData(Area& area, PageId page, bool create);
 

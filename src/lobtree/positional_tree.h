@@ -64,49 +64,50 @@ class PositionalTree {
   };
 
   /// Allocates and formats a root page; `engine` tags the owning manager.
-  StatusOr<PageId> CreateObject(uint8_t engine);
+  [[nodiscard]] StatusOr<PageId> CreateObject(uint8_t engine);
 
   /// Frees all index pages (the caller must have freed / visited the leaf
   /// segments first, e.g. with VisitLeaves).
-  Status DestroyObject(PageId root);
+  [[nodiscard]] Status DestroyObject(PageId root);
 
   /// Total bytes indexed by the tree.
-  StatusOr<uint64_t> Size(PageId root);
+  [[nodiscard]] StatusOr<uint64_t> Size(PageId root);
 
   /// Leaf containing byte `offset` (0 <= offset < Size).
-  StatusOr<LeafInfo> FindLeaf(PageId root, uint64_t offset);
+  [[nodiscard]] StatusOr<LeafInfo> FindLeaf(PageId root, uint64_t offset);
 
   /// Rightmost leaf; NotFound on an empty object.
-  StatusOr<LeafInfo> LastLeaf(PageId root);
+  [[nodiscard]] StatusOr<LeafInfo> LastLeaf(PageId root);
 
   /// Inserts a new leaf whose first byte will sit at object offset `at`
   /// (which must be an existing leaf boundary or the object size).
+  [[nodiscard]]
   Status InsertLeaf(PageId root, uint64_t at, const LeafEntry& entry,
                     OpContext* ctx);
 
   /// Removes the leaf starting at `leaf_start` and returns its entry.
-  StatusOr<LeafEntry> RemoveLeaf(PageId root, uint64_t leaf_start,
+  [[nodiscard]] StatusOr<LeafEntry> RemoveLeaf(PageId root, uint64_t leaf_start,
                                  OpContext* ctx);
 
   /// Updates the leaf containing `offset`: adds `delta` to its byte count
   /// and, when `new_page` != kInvalidPage, repoints it (leaf shadowed or
   /// rebuilt elsewhere).
-  Status UpdateLeaf(PageId root, uint64_t offset, int64_t delta,
+  [[nodiscard]] Status UpdateLeaf(PageId root, uint64_t offset, int64_t delta,
                     PageId new_page, OpContext* ctx);
 
   /// Calls `fn` for every leaf, left to right.
-  Status VisitLeaves(PageId root,
+  [[nodiscard]] Status VisitLeaves(PageId root,
                      const std::function<Status(const LeafInfo&)>& fn);
 
   /// Root auxiliary word (EOS: allocated pages of the last segment).
-  StatusOr<uint32_t> GetAux(PageId root);
-  Status SetAux(PageId root, uint32_t value);
+  [[nodiscard]] StatusOr<uint32_t> GetAux(PageId root);
+  [[nodiscard]] Status SetAux(PageId root, uint32_t value);
 
-  StatusOr<uint8_t> GetEngine(PageId root);
+  [[nodiscard]] StatusOr<uint8_t> GetEngine(PageId root);
 
   /// Walks the whole tree checking structural invariants (magic numbers,
   /// cumulative counts, heights, minimum fill). Also returns stats.
-  StatusOr<TreeStatsInfo> Validate(PageId root);
+  [[nodiscard]] StatusOr<TreeStatsInfo> Validate(PageId root);
 
   const TreeLimits& limits() const { return config_.limits; }
   AreaId meta_area_id() const { return config_.meta_area->id(); }
@@ -125,41 +126,47 @@ class PositionalTree {
 
   /// Shadows `page` (non-root, once per op) and schedules it for end-of-op
   /// flush; returns the page to modify (== `page` unless relocated).
-  StatusOr<PageId> PrepareModify(PageId page, OpContext* ctx);
+  [[nodiscard]] StatusOr<PageId> PrepareModify(PageId page, OpContext* ctx);
 
   /// Frees an index page, dropping any cached copy first.
-  Status FreeIndexPage(PageId page);
+  [[nodiscard]] Status FreeIndexPage(PageId page);
 
   /// Allocates and formats a fresh internal node.
+  [[nodiscard]]
   StatusOr<PageId> NewInternalNode(uint16_t height, OpContext* ctx);
 
   /// Inserts (bytes, child) before position idx of the node at `page`,
   /// splitting the node (or growing the root) when full.
+  [[nodiscard]]
   StatusOr<SplitResult> InsertPairInNode(PageId page, bool is_root,
                                          uint32_t idx, uint32_t bytes,
                                          PageId child, OpContext* ctx);
 
+  [[nodiscard]]
   StatusOr<SplitResult> InsertRec(PageId page, bool is_root, uint64_t rel,
                                   const LeafEntry& entry, OpContext* ctx);
 
+  [[nodiscard]]
   StatusOr<LeafEntry> RemoveRec(PageId page, bool is_root, uint64_t rel,
                                 OpContext* ctx);
 
   /// Rebalances child `idx` of the node at `page` after it fell below the
   /// minimum fill: borrow from or merge with an adjacent sibling.
-  Status RebalanceChild(PageId page, bool is_root, uint32_t idx,
+  [[nodiscard]] Status RebalanceChild(PageId page, bool is_root, uint32_t idx,
                         OpContext* ctx);
 
+  [[nodiscard]]
   Status UpdateRec(PageId page, bool is_root, uint64_t rel, int64_t delta,
                    PageId new_page, OpContext* ctx);
 
   /// Collapses a 1-pair tall root into its child where possible.
-  Status MaybeCollapseRoot(PageId root, OpContext* ctx);
+  [[nodiscard]] Status MaybeCollapseRoot(PageId root, OpContext* ctx);
 
+  [[nodiscard]]
   Status ValidateRec(PageId page, bool is_root, uint16_t expect_height,
                      TreeStatsInfo* stats);
 
-  Status VisitRec(PageId page, bool is_root, uint64_t base,
+  [[nodiscard]] Status VisitRec(PageId page, bool is_root, uint64_t base,
                   const std::function<Status(const LeafInfo&)>& fn);
 
   TreeConfig config_;

@@ -51,21 +51,25 @@ class StarburstManager : public LargeObjectManager {
  public:
   StarburstManager(StorageSystem* sys, const StarburstOptions& options);
 
-  StatusOr<ObjectId> Create() override;
-  Status Destroy(ObjectId id) override;
-  StatusOr<uint64_t> Size(ObjectId id) override;
-  Status Read(ObjectId id, uint64_t offset, uint64_t n,
+  [[nodiscard]] StatusOr<ObjectId> Create() override;
+  [[nodiscard]] Status Destroy(ObjectId id) override;
+  [[nodiscard]] StatusOr<uint64_t> Size(ObjectId id) override;
+  [[nodiscard]] Status Read(ObjectId id, uint64_t offset, uint64_t n,
               std::string* out) override;
-  Status Append(ObjectId id, std::string_view data) override;
+  [[nodiscard]] Status Append(ObjectId id, std::string_view data) override;
+  [[nodiscard]]
   Status Insert(ObjectId id, uint64_t offset, std::string_view data) override;
+  [[nodiscard]]
   Status Delete(ObjectId id, uint64_t offset, uint64_t n) override;
+  [[nodiscard]]
   Status Replace(ObjectId id, uint64_t offset, std::string_view data) override;
+  [[nodiscard]]
   StatusOr<ObjectStorageStats> GetStorageStats(ObjectId id) override;
-  Status Validate(ObjectId id) override;
-  Status VisitSegments(
+  [[nodiscard]] Status Validate(ObjectId id) override;
+  [[nodiscard]] Status VisitSegments(
       ObjectId id,
       const std::function<Status(uint64_t, uint32_t)>& fn) override;
-  Status Trim(ObjectId id) override { return TrimLast(id); }
+  [[nodiscard]] Status Trim(ObjectId id) override { return TrimLast(id); }
   Engine engine() const override { return Engine::kStarburst; }
 
   const StarburstOptions& options() const { return options_; }
@@ -74,7 +78,7 @@ class StarburstManager : public LargeObjectManager {
   /// ("the last segment is trimmed", paper 2.2). Appending afterwards
   /// first refills the trimmed segment's partial page and then rebuilds it
   /// to its pattern size.
-  Status TrimLast(ObjectId id);
+  [[nodiscard]] Status TrimLast(ObjectId id);
 
  private:
   /// Decoded long field descriptor.
@@ -99,29 +103,33 @@ class StarburstManager : public LargeObjectManager {
   /// Pattern size (pages) of the segment at position `i`.
   uint32_t PatternPages(uint32_t first_pages, uint32_t i) const;
 
-  StatusOr<Descriptor> Load(ObjectId id);
-  Status Save(ObjectId id, const Descriptor& d);
+  [[nodiscard]] StatusOr<Descriptor> Load(ObjectId id);
+  [[nodiscard]] Status Save(ObjectId id, const Descriptor& d);
 
   /// Expands the descriptor into per-segment locations.
   std::vector<SegInfo> MapSegments(const Descriptor& d) const;
 
   /// Reads object bytes [off, off+n) into dst, one I/O call per
   /// (segment, copy-buffer chunk) intersection.
+  [[nodiscard]]
   Status ReadRange(const std::vector<SegInfo>& map, uint64_t off, uint64_t n,
                    char* dst);
 
   /// Appends `data`, filling the last segment then allocating
   /// pattern-sized successors.
+  [[nodiscard]]
   Status AppendLocked(ObjectId id, Descriptor* d, std::string_view data,
                       OpContext* ctx);
 
   /// Replaces segments [k, end) with segments holding `tail` (already in
   /// memory), following the pattern sizes for positions k, k+1, ...;
   /// writes go through copy-buffer-sized chunks.
+  [[nodiscard]]
   Status RebuildTail(Descriptor* d, size_t k, std::string_view tail,
                      OpContext* ctx);
 
   /// Shared implementation of Insert/Delete: splice the byte stream.
+  [[nodiscard]]
   Status SpliceBytes(ObjectId id, uint64_t offset, std::string_view inserted,
                      uint64_t deleted);
 

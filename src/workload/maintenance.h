@@ -24,15 +24,17 @@ namespace lob {
 /// `chunk_bytes`-sized appends (default: the 512 KB staging size the paper
 /// uses for Starburst copies). The object id stays valid. Returns the
 /// modeled I/O the compaction itself cost.
+[[nodiscard]]
 StatusOr<IoStats> CompactObject(StorageSystem* sys, LargeObjectManager* mgr,
                                 ObjectId id,
                                 uint64_t chunk_bytes = 512 * 1024);
 
 /// Histogram of segment sizes in pages: size -> segment count.
-StatusOr<std::map<uint32_t, uint32_t>> SegmentHistogram(
+[[nodiscard]] StatusOr<std::map<uint32_t, uint32_t>> SegmentHistogram(
     LargeObjectManager* mgr, ObjectId id);
 
 /// Mean segment size in pages (0 for an empty object).
+[[nodiscard]]
 StatusOr<double> MeanSegmentPages(LargeObjectManager* mgr, ObjectId id);
 
 }  // namespace lob

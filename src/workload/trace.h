@@ -55,6 +55,7 @@ Trace GenerateUpdateMixTrace(uint64_t build_bytes, uint64_t append_bytes,
 
 /// Applies the trace to an (empty) object; returns accumulated I/O.
 /// Content correctness can be verified afterwards with VerifyTrace.
+[[nodiscard]]
 StatusOr<IoStats> ApplyTrace(StorageSystem* sys, LargeObjectManager* mgr,
                              ObjectId id, const Trace& trace);
 
@@ -62,11 +63,12 @@ StatusOr<IoStats> ApplyTrace(StorageSystem* sys, LargeObjectManager* mgr,
 std::string ExpectedContent(const Trace& trace);
 
 /// Reads the object back and compares with ExpectedContent.
+[[nodiscard]]
 Status VerifyTrace(LargeObjectManager* mgr, ObjectId id, const Trace& trace);
 
 /// Text serialization: one op per line, "<kind> <offset> <size> <seed>".
-Status SaveTrace(const Trace& trace, const std::string& path);
-StatusOr<Trace> LoadTrace(const std::string& path);
+[[nodiscard]] Status SaveTrace(const Trace& trace, const std::string& path);
+[[nodiscard]] StatusOr<Trace> LoadTrace(const std::string& path);
 
 }  // namespace lob
 

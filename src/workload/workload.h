@@ -47,12 +47,13 @@ struct NoZeroInit {};
 void FillBytes(Rng* rng, uint64_t n, std::string* out, NoZeroInit);
 
 /// Builds an object of `total_bytes` by appending `append_bytes` chunks.
+[[nodiscard]]
 StatusOr<PhaseResult> BuildObject(StorageSystem* sys, LargeObjectManager* mgr,
                                   ObjectId id, uint64_t total_bytes,
                                   uint64_t append_bytes, uint64_t seed = 1);
 
 /// Scans the whole object from the beginning in `scan_bytes` chunks.
-StatusOr<PhaseResult> SequentialScan(StorageSystem* sys,
+[[nodiscard]] StatusOr<PhaseResult> SequentialScan(StorageSystem* sys,
                                      LargeObjectManager* mgr, ObjectId id,
                                      uint64_t scan_bytes);
 
@@ -87,14 +88,14 @@ struct MixPoint {
 };
 
 /// Runs the update mix over an already-built object.
-StatusOr<std::vector<MixPoint>> RunUpdateMix(StorageSystem* sys,
+[[nodiscard]] StatusOr<std::vector<MixPoint>> RunUpdateMix(StorageSystem* sys,
                                              LargeObjectManager* mgr,
                                              ObjectId id,
                                              const MixSpec& spec);
 
 /// Storage utilization right now: object size over all allocated bytes of
 /// both database areas (valid while the system hosts this single object).
-StatusOr<double> CurrentUtilization(StorageSystem* sys,
+[[nodiscard]] StatusOr<double> CurrentUtilization(StorageSystem* sys,
                                     LargeObjectManager* mgr, ObjectId id);
 
 /// Takes one TimelineSample of the system's storage state after
@@ -102,6 +103,7 @@ StatusOr<double> CurrentUtilization(StorageSystem* sys,
 /// (object size, VisitSegments, buddy free-extent histogram) runs inside
 /// an UnmeteredSection; the sample's modeled_ms is the clock value
 /// *before* the walk, i.e. the workload's own cumulative cost.
+[[nodiscard]]
 Status CollectTimelineSample(StorageSystem* sys, LargeObjectManager* mgr,
                              ObjectId id, uint32_t ops_done,
                              TimelineSampler* sampler);

@@ -415,5 +415,75 @@ TEST_F(BufferPoolTest, RandomOpsMatchReferenceModel) {
   }
 }
 
+// ------------------------------------------------- deterministic iteration
+//
+// The pool's lookup table is an unordered_map; nothing may let its hash
+// order reach observable output. CachedPagesSorted() is the sanctioned
+// ordered enumeration: whatever order pages were fixed in, the enumeration
+// and the I/O sequence of a subsequent FlushAll must be identical.
+
+TEST_F(BufferPoolTest, CachedEnumerationIndependentOfInsertionOrder) {
+  // Distinct (area, page) keys spread over two areas, fixed in several
+  // permuted orders into fresh pools. The pool holds 12 frames; 8 pages
+  // are fixed so no eviction perturbs the cached set.
+  const AreaId area2 = disk_.CreateArea();
+  const std::vector<std::pair<AreaId, PageId>> keys = {
+      {area_, 7}, {area_, 2}, {area2, 3}, {area_, 11},
+      {area2, 0}, {area_, 4}, {area2, 9}, {area_, 0}};
+  const std::vector<std::vector<size_t>> orders = {
+      {0, 1, 2, 3, 4, 5, 6, 7},
+      {7, 6, 5, 4, 3, 2, 1, 0},
+      {3, 0, 7, 4, 1, 6, 2, 5},
+      {5, 2, 6, 1, 7, 0, 4, 3}};
+
+  std::vector<BufferPool::CachedPage> expected;
+  IoStats expected_flush_delta;
+  for (size_t variant = 0; variant < orders.size(); ++variant) {
+    SimDisk disk(cfg_);
+    // Recreate both areas with matching ids on the fresh disk.
+    const AreaId a0 = disk.CreateArea();
+    const AreaId a1 = disk.CreateArea();
+    ASSERT_EQ(a0, area_);
+    ASSERT_EQ(a1, area2);
+    BufferPool pool(&disk, cfg_);
+    for (size_t idx : orders[variant]) {
+      auto g = pool.FixPage(keys[idx].first, keys[idx].second, FixMode::kNew);
+      ASSERT_TRUE(g.ok());
+      // Dirty a deterministic subset (by key, not by insertion position).
+      if (keys[idx].second % 2 == 1) g->MarkDirty();
+    }
+    const std::vector<BufferPool::CachedPage> got = pool.CachedPagesSorted();
+    ASSERT_EQ(got.size(), keys.size());
+    // Sorted by (area, page); dirty = odd page numbers.
+    for (size_t i = 1; i < got.size(); ++i) {
+      ASSERT_TRUE(got[i - 1].area < got[i].area ||
+                  (got[i - 1].area == got[i].area &&
+                   got[i - 1].page < got[i].page));
+    }
+    for (const auto& cp : got) ASSERT_EQ(cp.dirty, cp.page % 2 == 1);
+
+    // FlushAll's I/O sequence (call count, seeks, pages) must also be a
+    // pure function of the dirty set, not of insertion order.
+    const IoStats before = disk.stats();
+    ASSERT_TRUE(pool.FlushAll().ok());
+    const IoStats flush_delta = IoStats::Delta(before, disk.stats());
+
+    if (variant == 0) {
+      expected = got;
+      expected_flush_delta = flush_delta;
+    } else {
+      EXPECT_EQ(got, expected)
+          << "insertion order leaked into the enumeration (variant "
+          << variant << ")";
+      EXPECT_EQ(flush_delta.write_calls, expected_flush_delta.write_calls)
+          << "variant " << variant;
+      EXPECT_EQ(flush_delta.pages_written, expected_flush_delta.pages_written)
+          << "variant " << variant;
+      EXPECT_EQ(flush_delta.Seeks(), expected_flush_delta.Seeks())
+          << "variant " << variant;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lob

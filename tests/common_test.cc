@@ -52,6 +52,14 @@ TEST(StatusOrTest, HoldsValueOrStatus) {
   EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
 }
 
+TEST(StatusOrDeathTest, RejectsConstructionFromOkStatus) {
+  // A StatusOr built from an OK Status would be valueless (ok() false)
+  // while status().ok() is true -- an unhandleable state. The converting
+  // constructor LOB_CHECKs against it.
+  EXPECT_DEATH(
+      { StatusOr<int> bad((Status())); }, "LOB_CHECK");
+}
+
 TEST(MathTest, CeilDiv) {
   EXPECT_EQ(CeilDiv(0, 4), 0u);
   EXPECT_EQ(CeilDiv(1, 4), 1u);

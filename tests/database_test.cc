@@ -181,6 +181,30 @@ TEST(DatabaseTest, DuplicateNameRollsBackObject) {
       << "failed create must not leak the object root";
 }
 
+TEST(DatabaseTest, DuplicateNameRollbackSurvivesInjectedFailure) {
+  // The duplicate-name rollback destroys the freshly created object. If
+  // that rollback itself hits an I/O failure, CreateObject must still
+  // return the original bind error (never crash, never mask it with the
+  // rollback error), and the database must keep working once the fault
+  // clears. Sweep the fault depth so the failure lands at every point of
+  // the create/bind/rollback sequence at least once.
+  for (int64_t depth = 0; depth < 12; ++depth) {
+    auto db = Database::Create();
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateObject("x", Engine::kEos).ok());
+    (*db)->sys()->disk()->InjectFailureAfter(depth);
+    auto dup = (*db)->CreateObject("x", Engine::kEsm);
+    EXPECT_FALSE(dup.ok()) << "depth " << depth;
+    (*db)->sys()->disk()->InjectFailureAfter(-1);
+    // The database stays usable: the original binding is intact and new
+    // names can still be created.
+    auto found = (*db)->Lookup("x");
+    ASSERT_TRUE(found.ok()) << "depth " << depth;
+    auto fresh = (*db)->CreateObject("y", Engine::kEos);
+    EXPECT_TRUE(fresh.ok()) << "depth " << depth;
+  }
+}
+
 TEST(DatabaseTest, DropObjectFreesAndUnbinds) {
   auto db = Database::Create();
   ASSERT_TRUE(db.ok());

@@ -1,0 +1,12 @@
+// A header with no include guard and a file-scope using-directive: the
+// first breaks double inclusion, the second leaks names into every
+// translation unit that includes it.
+#include <string>
+
+using namespace std;
+
+namespace lob {
+
+inline string Shout(const string& s) { return s + "!"; }
+
+}  // namespace lob

@@ -1,0 +1,14 @@
+// LOB_IGNORE_STATUS with no justification: the whole point of the
+// [[nodiscard]] Status discipline is that dropped errors carry a written,
+// reviewable reason (the OpContext::Finish state leak was a silent drop).
+#include "common/status.h"
+
+namespace lob {
+
+Status Cleanup();
+
+void Teardown() {
+  LOB_IGNORE_STATUS(Cleanup());
+}
+
+}  // namespace lob

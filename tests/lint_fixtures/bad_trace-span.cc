@@ -1,0 +1,12 @@
+// Side effects inside LOB_TRACE_SPAN arguments: under -DLOB_TRACING=OFF
+// the macro expands to ((void)0), so the increment would only happen in
+// tracing builds -- breaking the byte-identical OFF/ON contract.
+#include "trace/trace_span.h"
+
+namespace lob {
+
+void Descend(SimDisk* disk, int* depth) {
+  LOB_TRACE_SPAN(disk, ("tree.level", (*depth)++) ? "a" : "b");
+}
+
+}  // namespace lob

@@ -1,0 +1,14 @@
+// A function call with arguments inside LOB_TRACE_SPAN: even if it is pure
+// today, the OFF build cannot prove it, so the zero-cost-off contract
+// forbids it. Only nullary accessor chains are allowed.
+#include "trace/trace_span.h"
+
+namespace lob {
+
+SimDisk* PickDisk(int which);
+
+void Splice(int which) {
+  LOB_TRACE_SPAN(PickDisk(which), "sb.splice");
+}
+
+}  // namespace lob

@@ -1,0 +1,18 @@
+// LOBLINT-FIXTURE-PATH: src/workload/fake_stats.cc
+// Iterating a hash map straight into an output string: row order depends
+// on the hash function and becomes a --jobs / libstdc++-version lottery.
+#include <string>
+#include <unordered_map>
+
+namespace lob {
+
+std::string DumpCounts(const std::unordered_map<int, int>& unused) {
+  std::unordered_map<int, int> counts = unused;
+  std::string out;
+  for (const auto& kv : counts) {
+    out += std::to_string(kv.first) + "," + std::to_string(kv.second) + "\n";
+  }
+  return out;
+}
+
+}  // namespace lob

@@ -1,0 +1,23 @@
+// LOBLINT-FIXTURE-PATH: src/trace/fake_exporter.h
+// Exporter-scoped code may not even *declare* unordered containers: the
+// temptation to iterate one into CSV/JSON is how ordering leaks are born.
+#ifndef LOB_TESTS_LINT_FIXTURES_BAD_UNORDERED_2_H_
+#define LOB_TESTS_LINT_FIXTURES_BAD_UNORDERED_2_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace lob {
+
+class FakeExporter {
+ public:
+  void Note(const std::string& label, uint64_t ms) { totals_[label] += ms; }
+
+ private:
+  std::unordered_map<std::string, uint64_t> totals_;
+};
+
+}  // namespace lob
+
+#endif  // LOB_TESTS_LINT_FIXTURES_BAD_UNORDERED_2_H_

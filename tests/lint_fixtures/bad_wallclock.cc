@@ -1,0 +1,14 @@
+// LOBLINT-FIXTURE-PATH: src/workload/fake_mix.cc
+// A modeled-clock path consulting the host clock: the classic determinism
+// leak. Results would differ run to run and machine to machine.
+#include <chrono>
+
+namespace lob {
+
+double MeasureOp() {
+  auto t0 = std::chrono::steady_clock::now();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace lob

@@ -1,0 +1,13 @@
+// LOBLINT-FIXTURE-PATH: src/core/fake_report.cc
+// Pointer-identity output (%p) and ambient entropy (rand) in library code:
+// ASLR makes addresses differ every run, rand() is unseeded host state.
+#include <cstdio>
+#include <cstdlib>
+
+namespace lob {
+
+void DumpNode(const void* node) {
+  std::printf("node at %p picked %d\n", node, rand());
+}
+
+}  // namespace lob

@@ -1,0 +1,13 @@
+// LOBLINT-FIXTURE-PATH: src/esm/fake_fastpath.cc
+// The compliant version: the manager reads through the BufferPool, whose
+// SimDisk calls are charged to whatever OpScope label the caller holds.
+#include "buffer/buffer_pool.h"
+
+namespace lob {
+
+Status BulkRead(BufferPool* pool, AreaId area, PageId first,
+                uint64_t valid_bytes, uint64_t off, uint64_t n, char* dst) {
+  return pool->ReadSegmentRange(area, first, valid_bytes, off, n, dst);
+}
+
+}  // namespace lob

@@ -1,0 +1,13 @@
+// A well-formed header: guarded, no using-directives, qualified names.
+#ifndef LOB_TESTS_LINT_FIXTURES_GOOD_HEADER_HYGIENE_H_
+#define LOB_TESTS_LINT_FIXTURES_GOOD_HEADER_HYGIENE_H_
+
+#include <string>
+
+namespace lob {
+
+inline std::string Shout(const std::string& s) { return s + "!"; }
+
+}  // namespace lob
+
+#endif  // LOB_TESTS_LINT_FIXTURES_GOOD_HEADER_HYGIENE_H_

@@ -1,0 +1,14 @@
+// #pragma once is accepted as a guard too.
+#pragma once
+
+#include <cstdint>
+
+namespace lob {
+
+inline uint32_t NextPow2(uint32_t x) {
+  uint32_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace lob

@@ -1,0 +1,22 @@
+// A justified discard: best-effort cleanup on a path already returning a
+// different error, with the reason written at the call site.
+#include "common/status.h"
+
+namespace lob {
+
+Status Cleanup();
+Status DoWork();
+
+Status Run() {
+  Status work = DoWork();
+  if (!work.ok()) {
+    // Best-effort: we are already failing with the DoWork error, and
+    // Cleanup failure cannot be acted on here (the caller retries the
+    // whole operation, which re-runs cleanup).
+    LOB_IGNORE_STATUS(Cleanup());
+    return work;
+  }
+  return Cleanup();
+}
+
+}  // namespace lob

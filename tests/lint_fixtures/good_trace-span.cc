@@ -1,0 +1,24 @@
+// Compliant span sites: nullary accessor chains and string literals only,
+// exactly what every production LOB_TRACE_SPAN site looks like.
+#include "trace/trace_span.h"
+
+namespace lob {
+
+struct FakeTree {
+  struct {
+    void* pool;
+  } config_;
+  SimDisk* disk_ = nullptr;
+
+  void Walk(SimDisk* (*accessor)());
+};
+
+void Descend(SimDisk* disk) { LOB_TRACE_SPAN(disk, "tree.descend"); }
+
+struct FakePool {
+  SimDisk* disk() const { return nullptr; }
+};
+
+void Evict(FakePool* pool) { LOB_TRACE_SPAN(pool->disk(), "pool.evict"); }
+
+}  // namespace lob

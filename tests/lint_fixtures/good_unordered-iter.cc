@@ -1,0 +1,31 @@
+// LOBLINT-FIXTURE-PATH: src/workload/fake_stats.cc
+// The compliant version: lookups stay O(1) in the hash map, but anything
+// that iterates goes through a sorted copy (or an ordered container).
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace lob {
+
+std::string DumpCounts(const std::unordered_map<int, int>& counts) {
+  std::vector<std::pair<int, int>> rows(counts.begin(), counts.end());
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const auto& kv : rows) {
+    out += std::to_string(kv.first) + "," + std::to_string(kv.second) + "\n";
+  }
+  return out;
+}
+
+std::string DumpOrdered(const std::map<int, int>& counts) {
+  std::string out;
+  for (const auto& kv : counts) {
+    out += std::to_string(kv.first) + "\n";
+  }
+  return out;
+}
+
+}  // namespace lob

@@ -1,0 +1,15 @@
+// LOBLINT-FIXTURE-PATH: src/workload/fake_mix.cc
+// The compliant version: cost comes off the modeled clock and randomness
+// from the seeded lob::Rng, so output is a pure function of the seed.
+#include "common/rng.h"
+#include "iomodel/sim_disk.h"
+
+namespace lob {
+
+double MeasureOp(SimDisk* disk, Rng* rng) {
+  const double before = disk->stats().ms;
+  (void)rng->Uniform(0, 100);
+  return disk->stats().ms - before;
+}
+
+}  // namespace lob

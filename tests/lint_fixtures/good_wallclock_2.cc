@@ -1,0 +1,14 @@
+// LOBLINT-FIXTURE-PATH: src/exec/fake_profile.cc
+// src/exec is the bench-profile allowlist: measuring the simulator's own
+// wall-clock cost is that layer's whole job.
+#include <chrono>
+
+namespace lob {
+
+double WallNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace lob

@@ -1,0 +1,14 @@
+// LOBLINT-FIXTURE-PATH: src/workload/fake_seeding.cc
+// A justified suppression: the reason is mandatory and reviewed.
+#include <chrono>
+
+namespace lob {
+
+unsigned DebugOnlySeed() {
+  return static_cast<unsigned>(
+      // LOBLINT(wallclock): debug-only helper, never reachable from bench
+      // output; gated behind LOB_DEBUG_SEED at the single call site.
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace lob

@@ -19,17 +19,25 @@ DatabaseArea::DatabaseArea(BufferPool* pool, AreaId area,
   LOB_CHECK_LE(blocks_per_space_ / 8, config_.page_size);
 }
 
-Status DatabaseArea::AddSpace() {
+void DatabaseArea::AddSpace() {
   LOB_TRACE_SPAN(pool_->disk(), "buddy.add_space");
   const uint32_t space = static_cast<uint32_t>(spaces_.size());
   spaces_.push_back(std::make_unique<BuddyTree>(config_.buddy_space_order));
   hints_.push_back(blocks_per_space_);
-  // Initialize the on-disk directory (an all-free bitmap).
+  needs_sync_.push_back(false);
+  // Initialize the on-disk directory (an all-free bitmap). A failure here
+  // (e.g. an injected fault on the eviction write that frees a frame) is
+  // absorbed: an all-free bitmap is all zeros, which is what an unwritten
+  // page reads back as, and the space is re-synced on its next use.
   auto guard = pool_->FixPage(area_, DirectoryPage(space), FixMode::kNew);
-  if (!guard.ok()) return guard.status();
+  if (!guard.ok()) {
+    LOB_LOG_WARN("buddy directory init deferred (space %u): %s", space,
+                 guard.status().ToString().c_str());
+    needs_sync_[space] = true;
+    return;
+  }
   spaces_[space]->SerializeBitmap(guard->data());
   guard->MarkDirty();
-  return Status::OK();
 }
 
 StatusOr<Segment> DatabaseArea::Allocate(uint32_t n_pages) {
@@ -54,10 +62,11 @@ StatusOr<Segment> DatabaseArea::Allocate(uint32_t n_pages) {
     }
     spaces_[s]->SerializeBitmap(guard->data());
     guard->MarkDirty();
+    needs_sync_[s] = false;
     return Segment{DataBase(s) + *start_or, n_pages};
   }
   // No existing space can hold the segment: extend the area.
-  LOB_RETURN_IF_ERROR(AddSpace());
+  AddSpace();
   const uint32_t s = static_cast<uint32_t>(spaces_.size() - 1);
   auto guard = pool_->FixPage(area_, DirectoryPage(s), FixMode::kRead);
   if (!guard.ok()) return guard.status();
@@ -66,6 +75,7 @@ StatusOr<Segment> DatabaseArea::Allocate(uint32_t n_pages) {
   hints_[s] = spaces_[s]->LargestFree();
   spaces_[s]->SerializeBitmap(guard->data());
   guard->MarkDirty();
+  needs_sync_[s] = false;
   return Segment{DataBase(s) + *start_or, n_pages};
 }
 
@@ -84,13 +94,48 @@ Status DatabaseArea::Free(PageId first_page, uint32_t n_pages) {
   if (block + n_pages > blocks_per_space_) {
     return Status::InvalidArgument("free range crosses buddy spaces");
   }
-  auto guard = pool_->FixPage(area_, DirectoryPage(space), FixMode::kRead);
-  if (!guard.ok()) return guard.status();
+  // Update the authoritative in-memory tree first; a misuse error (double
+  // free) surfaces here, before any I/O can interfere.
   LOB_RETURN_IF_ERROR(spaces_[space]->Free(block, n_pages));
   hints_[space] = spaces_[space]->LargestFree();
+  // Best-effort directory rewrite: absorb I/O faults so rollback paths can
+  // rely on Free never failing (see header contract). The lagging
+  // directory self-heals on the space's next successful bitmap write or
+  // via SyncDirectories.
+  auto guard = pool_->FixPage(area_, DirectoryPage(space), FixMode::kRead);
+  if (!guard.ok()) {
+    LOB_LOG_WARN("buddy directory update deferred (space %u): %s", space,
+                 guard.status().ToString().c_str());
+    needs_sync_[space] = true;
+    return Status::OK();
+  }
   spaces_[space]->SerializeBitmap(guard->data());
   guard->MarkDirty();
+  needs_sync_[space] = false;
   return Status::OK();
+}
+
+Status DatabaseArea::SyncDirectories() {
+  Status first;
+  for (uint32_t s = 0; s < spaces_.size(); ++s) {
+    if (!needs_sync_[s]) continue;
+    auto guard = pool_->FixPage(area_, DirectoryPage(s), FixMode::kRead);
+    if (!guard.ok()) {
+      if (first.ok()) first = guard.status();
+      continue;
+    }
+    spaces_[s]->SerializeBitmap(guard->data());
+    guard->MarkDirty();
+    needs_sync_[s] = false;
+  }
+  return first;
+}
+
+bool DatabaseArea::NeedsDirectorySync() const {
+  for (bool b : needs_sync_) {
+    if (b) return true;
+  }
+  return false;
 }
 
 Status DatabaseArea::RecoverSpaces(const SimDisk& disk) {
@@ -106,6 +151,7 @@ Status DatabaseArea::RecoverSpaces(const SimDisk& disk) {
     spaces_.push_back(std::make_unique<BuddyTree>(
         BuddyTree::FromBitmap(config_.buddy_space_order, guard->data())));
     hints_.push_back(spaces_.back()->LargestFree());
+    needs_sync_.push_back(false);
   }
   return Status::OK();
 }

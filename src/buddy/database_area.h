@@ -51,16 +51,43 @@ class DatabaseArea {
   [[nodiscard]] StatusOr<Segment> Allocate(uint32_t n_pages);
 
   /// Frees any sub-range of previously allocated pages.
+  ///
+  /// Free is *infallible under I/O faults*: the authoritative in-memory
+  /// buddy tree is updated first, and a failure to rewrite the on-disk
+  /// directory block is absorbed (the space is marked dirty and re-synced
+  /// by the next successful Allocate/Free touching it, or explicitly by
+  /// SyncDirectories). This is what lets error-path rollback release
+  /// already-acquired extents unconditionally: if Free could fail midway
+  /// through a rollback, a torn update would leak the extent forever.
+  /// Misuse (double free, range outside any space, freeing a directory
+  /// block) still returns an error.
   [[nodiscard]] Status Free(PageId first_page, uint32_t n_pages);
 
   /// Frees a whole segment.
   [[nodiscard]]
   Status Free(const Segment& seg) { return Free(seg.first_page, seg.pages); }
 
+  /// Rewrites the on-disk directory of every space whose bitmap write was
+  /// absorbed by a fault-tolerant Free (or a fault-tolerant AddSpace).
+  /// Call before persisting the area (Database::Save does).
+  [[nodiscard]] Status SyncDirectories();
+
+  /// True if some space's on-disk directory lags the in-memory tree.
+  bool NeedsDirectorySync() const;
+
   AreaId id() const { return area_; }
 
   /// Largest segment this area can ever allocate, in pages.
   uint32_t max_segment_pages() const { return 1u << config_.buddy_space_order; }
+
+  /// Data blocks per buddy space (each space additionally owns one
+  /// directory block, so spaces repeat with stride blocks_per_space()+1).
+  uint32_t blocks_per_space() const { return blocks_per_space_; }
+
+  /// True iff the area-relative page is a space's directory block.
+  bool IsDirectoryPage(PageId page) const {
+    return page % (blocks_per_space_ + 1) == 0;
+  }
 
   uint32_t num_spaces() const { return static_cast<uint32_t>(spaces_.size()); }
 
@@ -101,7 +128,10 @@ class DatabaseArea {
   PageId DataBase(uint32_t space) const { return DirectoryPage(space) + 1; }
 
   /// Creates space `spaces_.size()` with a fresh all-free directory.
-  [[nodiscard]] Status AddSpace();
+  /// Infallible under I/O faults: a failed directory write is absorbed
+  /// like in Free (an all-free bitmap is all zeros, which is exactly what
+  /// an unwritten page reads back as, so recovery stays consistent).
+  void AddSpace();
 
   BufferPool* pool_;
   AreaId area_;
@@ -109,6 +139,7 @@ class DatabaseArea {
   uint32_t blocks_per_space_;
   std::vector<std::unique_ptr<BuddyTree>> spaces_;
   std::vector<uint32_t> hints_;  ///< superdirectory (main-memory only)
+  std::vector<bool> needs_sync_;  ///< spaces with a lagging disk directory
 };
 
 }  // namespace lob

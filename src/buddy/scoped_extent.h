@@ -1,0 +1,105 @@
+// ScopedExtent: RAII ownership of a freshly allocated buddy segment.
+//
+// The campaign engine (src/exec/campaign.h) showed that every *leak* cell
+// in the fault matrix came from the same shape of bug: an operation
+// allocates one or more segments, a later I/O fails, and the error path
+// returns without releasing what it already acquired. ScopedExtent makes
+// that shape unrepresentable: the segment is freed (and its cached pages
+// dropped) when the guard dies, unless the owning operation reached its
+// durable commit point and called Commit().
+//
+// The rollback in the destructor cannot itself fail under I/O faults:
+// DatabaseArea::Free absorbs directory-write failures (see
+// database_area.h), and a failed Invalidate (a page still pinned —
+// strictly a caller bug) is logged and skipped rather than leaking the
+// extent.
+//
+// tools/lob_lint.py rule LOB007 flags raw DatabaseArea::Allocate calls in
+// the manager/tree/core layers that bypass this guard.
+
+#ifndef LOB_BUDDY_SCOPED_EXTENT_H_
+#define LOB_BUDDY_SCOPED_EXTENT_H_
+
+#include <utility>
+
+#include "buddy/database_area.h"
+#include "buffer/buffer_pool.h"
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace lob {
+
+/// Move-only owner of an uncommitted segment. Destruction rolls the
+/// allocation back; Commit() transfers ownership to the durable structure
+/// that now references the pages.
+class ScopedExtent {
+ public:
+  ScopedExtent() = default;
+
+  /// Allocates `n_pages` from `area` under guard. `pool` is used to drop
+  /// cached copies of the pages if the guard rolls back.
+  [[nodiscard]]
+  static StatusOr<ScopedExtent> Allocate(DatabaseArea* area, BufferPool* pool,
+                                         uint32_t n_pages) {
+    auto seg = area->Allocate(n_pages);
+    if (!seg.ok()) return seg.status();
+    return ScopedExtent(area, pool, *seg);
+  }
+
+  ScopedExtent(ScopedExtent&& other) noexcept
+      : area_(std::exchange(other.area_, nullptr)),
+        pool_(std::exchange(other.pool_, nullptr)),
+        seg_(other.seg_) {}
+
+  ScopedExtent& operator=(ScopedExtent&& other) noexcept {
+    if (this != &other) {
+      Rollback();
+      area_ = std::exchange(other.area_, nullptr);
+      pool_ = std::exchange(other.pool_, nullptr);
+      seg_ = other.seg_;
+    }
+    return *this;
+  }
+
+  ScopedExtent(const ScopedExtent&) = delete;
+  ScopedExtent& operator=(const ScopedExtent&) = delete;
+
+  ~ScopedExtent() { Rollback(); }
+
+  /// The operation's durable structures now reference the segment: disarm.
+  void Commit() { area_ = nullptr; }
+
+  bool armed() const { return area_ != nullptr; }
+  PageId first_page() const { return seg_.first_page; }
+  uint32_t pages() const { return seg_.pages; }
+  const Segment& segment() const { return seg_; }
+
+ private:
+  ScopedExtent(DatabaseArea* area, BufferPool* pool, Segment seg)
+      : area_(area), pool_(pool), seg_(seg) {}
+
+  void Rollback() {
+    if (area_ == nullptr) return;
+    // Drop cached (possibly dirty) copies first so a later reuse of the
+    // pages cannot observe stale content or pay for a stale flush.
+    Status inv = pool_->Invalidate(area_->id(), seg_.first_page, seg_.pages);
+    if (!inv.ok()) {
+      LOB_LOG_WARN("extent rollback: invalidate [%u,+%u) failed: %s",
+                   seg_.first_page, seg_.pages, inv.ToString().c_str());
+    }
+    Status freed = area_->Free(seg_);
+    if (!freed.ok()) {
+      LOB_LOG_WARN("extent rollback: free [%u,+%u) failed: %s",
+                   seg_.first_page, seg_.pages, freed.ToString().c_str());
+    }
+    area_ = nullptr;
+  }
+
+  DatabaseArea* area_ = nullptr;
+  BufferPool* pool_ = nullptr;
+  Segment seg_;
+};
+
+}  // namespace lob
+
+#endif  // LOB_BUDDY_SCOPED_EXTENT_H_

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "buddy/scoped_extent.h"
 #include "common/logging.h"
 #include "iomodel/disk_image.h"
 
@@ -31,10 +32,12 @@ StatusOr<std::unique_ptr<Database>> Database::Create(
 
 Status Database::InitFresh() {
   // The superblock is the very first allocation of the meta area, which
-  // deterministically lands on the first data page of space 0.
-  auto seg = sys_->meta_area()->Allocate(1);
-  if (!seg.ok()) return seg.status();
-  superblock_ = seg->first_page;
+  // deterministically lands on the first data page of space 0. It stays
+  // under guard until it is durably formatted: a failure while creating
+  // the catalog must not strand the page.
+  auto ext = ScopedExtent::Allocate(sys_->meta_area(), sys_->pool(), 1);
+  if (!ext.ok()) return ext.status();
+  superblock_ = ext->first_page();
   catalog_ = std::make_unique<ObjectCatalog>(sys_.get());
   auto head = catalog_->Create();
   if (!head.ok()) return head.status();
@@ -45,7 +48,10 @@ Status Database::InitFresh() {
   StoreU32(g->data() + 4, kSuperblockVersion);
   StoreU32(g->data() + 8, *head);
   g->MarkDirty();
-  return sys_->pool()->FlushRun(sys_->meta_area()->id(), superblock_, 1);
+  LOB_RETURN_IF_ERROR(
+      sys_->pool()->FlushRun(sys_->meta_area()->id(), superblock_, 1));
+  ext->Commit();
+  return Status::OK();
 }
 
 StatusOr<std::unique_ptr<Database>> Database::Open(
@@ -81,6 +87,11 @@ Status Database::InitFromImage() {
 }
 
 Status Database::Save(const std::string& path) {
+  // Re-sync any buddy directory blocks whose rewrite was absorbed by an
+  // infallible Free (see DatabaseArea::Free): the saved image must carry
+  // allocator state an Open() can recover from.
+  LOB_RETURN_IF_ERROR(sys_->meta_area()->SyncDirectories());
+  LOB_RETURN_IF_ERROR(sys_->leaf_area()->SyncDirectories());
   LOB_RETURN_IF_ERROR(sys_->FlushAll());
   return SaveDiskImage(*sys_->disk(), path);
 }

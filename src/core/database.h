@@ -68,6 +68,9 @@ class Database {
   StorageSystem* sys() { return sys_.get(); }
   ObjectCatalog* catalog() { return catalog_.get(); }
 
+  /// Meta-area page of the superblock (for consistency checks).
+  PageId superblock() const { return superblock_; }
+
  private:
   Database() = default;
 

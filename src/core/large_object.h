@@ -100,6 +100,22 @@ class LargeObjectManager {
       ObjectId id,
       const std::function<Status(uint64_t bytes, uint32_t pages)>& fn) = 0;
 
+  /// One extent the object owns, as reported by VisitOwnedExtents.
+  struct OwnedExtent {
+    AreaId area = 0;
+    PageId first_page = kInvalidPage;
+    uint32_t pages = 0;
+  };
+
+  /// Calls `fn` for every extent of every area the object owns: its data
+  /// segments (with their *allocated* page counts, slack included) and its
+  /// index/descriptor pages, the root page included. This is the ground
+  /// truth the consistency checker (src/check) cross-references against
+  /// the allocator: a page allocated but never reported is a leak; a page
+  /// reported twice or reported-but-free is corruption.
+  [[nodiscard]] virtual Status VisitOwnedExtents(
+      ObjectId id, const std::function<Status(const OwnedExtent&)>& fn) = 0;
+
   /// Releases growth slack: frees allocated-but-unused whole pages at the
   /// right end of the object ("the last segment is trimmed", paper 2.2).
   /// A no-op for engines without over-allocation (ESM).

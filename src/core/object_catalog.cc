@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "buddy/scoped_extent.h"
 #include "buffer/op_context.h"
 #include "common/logging.h"
 
@@ -30,16 +31,17 @@ void StoreU16(char* p, uint16_t v) { std::memcpy(p, &v, 2); }
 ObjectCatalog::ObjectCatalog(StorageSystem* sys) : sys_(sys) {}
 
 StatusOr<PageId> ObjectCatalog::Create() {
-  auto seg = sys_->meta_area()->Allocate(1);
-  if (!seg.ok()) return seg.status();
-  auto g = sys_->pool()->FixPage(area_id(), seg->first_page, FixMode::kNew);
-  if (!g.ok()) return g.status();
+  auto ext = ScopedExtent::Allocate(sys_->meta_area(), sys_->pool(), 1);
+  if (!ext.ok()) return ext.status();
+  auto g = sys_->pool()->FixPage(area_id(), ext->first_page(), FixMode::kNew);
+  if (!g.ok()) return g.status();  // guard reclaims the head page
   StoreU32(g->data(), kCatalogMagic);
   StoreU32(g->data() + 4, kInvalidPage);
   StoreU16(g->data() + 8, 0);
   StoreU16(g->data() + 10, 0);
   g->MarkDirty();
-  head_ = seg->first_page;
+  ext->Commit();
+  head_ = ext->first_page();
   return head_;
 }
 
@@ -141,11 +143,12 @@ Status ObjectCatalog::Put(std::string_view name, ObjectId id) {
       return WritePage(page, entries, next);
     }
     if (next == kInvalidPage) {
-      // Grow the chain.
-      auto seg = sys_->meta_area()->Allocate(1);
-      if (!seg.ok()) return seg.status();
+      // Grow the chain. The fresh page is committed only once the current
+      // tail's next pointer durably references it (WritePage flushes).
+      auto ext = ScopedExtent::Allocate(sys_->meta_area(), sys_->pool(), 1);
+      if (!ext.ok()) return ext.status();
       {
-        auto g = sys_->pool()->FixPage(area_id(), seg->first_page,
+        auto g = sys_->pool()->FixPage(area_id(), ext->first_page(),
                                        FixMode::kNew);
         if (!g.ok()) return g.status();
         StoreU32(g->data(), kCatalogMagic);
@@ -154,8 +157,9 @@ Status ObjectCatalog::Put(std::string_view name, ObjectId id) {
         StoreU16(g->data() + 10, 0);
         g->MarkDirty();
       }
-      LOB_RETURN_IF_ERROR(WritePage(page, entries, seg->first_page));
-      page = seg->first_page;
+      LOB_RETURN_IF_ERROR(WritePage(page, entries, ext->first_page()));
+      ext->Commit();
+      page = ext->first_page();
       continue;
     }
     page = next;
@@ -221,6 +225,20 @@ StatusOr<uint64_t> ObjectCatalog::Size() {
   auto all = List();
   if (!all.ok()) return all.status();
   return static_cast<uint64_t>(all->size());
+}
+
+StatusOr<std::vector<PageId>> ObjectCatalog::Pages() {
+  if (head_ == kInvalidPage) return Status::Internal("catalog not open");
+  std::vector<PageId> out;
+  PageId page = head_;
+  while (page != kInvalidPage) {
+    out.push_back(page);
+    std::vector<Entry> entries;
+    PageId next;
+    LOB_RETURN_IF_ERROR(ReadPage(page, &entries, &next));
+    page = next;
+  }
+  return out;
 }
 
 Status ObjectCatalog::Drop() {

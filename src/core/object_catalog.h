@@ -61,6 +61,11 @@ class ObjectCatalog {
   /// Frees every catalog page (bindings only; objects survive).
   [[nodiscard]] Status Drop();
 
+  /// The meta-area pages of the catalog chain, head first. Ground truth
+  /// for the consistency checker (src/check), which must account for
+  /// every allocated meta page.
+  [[nodiscard]] StatusOr<std::vector<PageId>> Pages();
+
   PageId head() const { return head_; }
 
  private:

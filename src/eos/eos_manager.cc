@@ -47,17 +47,18 @@ Status EosManager::FreePages(PageId page, uint32_t pages) {
   return sys_->leaf_area()->Free(page, pages);
 }
 
-StatusOr<PageId> EosManager::WriteNewSegment(std::string_view content,
-                                             OpContext* ctx) {
+StatusOr<ScopedExtent> EosManager::WriteNewSegment(std::string_view content,
+                                                   OpContext* ctx) {
   LOB_CHECK(!content.empty());
   const uint32_t pages = PagesFor(content.size());
   LOB_CHECK_LE(pages, options_.max_segment_pages);
-  auto seg = sys_->leaf_area()->Allocate(pages);
-  if (!seg.ok()) return seg.status();
+  auto ext = ScopedExtent::Allocate(sys_->leaf_area(), sys_->pool(), pages);
+  if (!ext.ok()) return ext.status();
   (void)ctx;
+  // A failed write rolls the allocation back via the guard.
   LOB_RETURN_IF_ERROR(sys_->pool()->WriteFreshSegment(
-      leaf_area_id(), seg->first_page, content.data(), content.size()));
-  return seg->first_page;
+      leaf_area_id(), ext->first_page(), content.data(), content.size()));
+  return ext;
 }
 
 Status EosManager::Destroy(ObjectId id) {
@@ -69,10 +70,13 @@ Status EosManager::Destroy(ObjectId id) {
     segs.push_back({leaf.page, PagesFor(leaf.bytes)});
     return Status::OK();
   }));
+  // Destroy the index first: if its walk fails, the object is still
+  // well-formed and the destroy can be retried. The segment frees after
+  // it cannot fail under I/O faults.
+  LOB_RETURN_IF_ERROR(tree_->DestroyObject(id));
   for (const auto& [page, pages] : segs) {
     LOB_RETURN_IF_ERROR(FreePages(page, pages));
   }
-  LOB_RETURN_IF_ERROR(tree_->DestroyObject(id));
   return ctx.Finish();
 }
 
@@ -144,14 +148,20 @@ Status EosManager::Append(ObjectId id, std::string_view data) {
     } else {
       pages = std::min(last_alloc * 2, options_.max_segment_pages);
     }
-    auto seg = sys_->leaf_area()->Allocate(pages);
-    if (!seg.ok()) return seg.status();
+    auto ext = ScopedExtent::Allocate(sys_->leaf_area(), sys_->pool(), pages);
+    if (!ext.ok()) return ext.status();
     const uint64_t take = std::min<uint64_t>(
         static_cast<uint64_t>(pages) * P, rem);
     LOB_RETURN_IF_ERROR(sys_->pool()->WriteFreshSegment(
-        leaf_area_id(), seg->first_page, data.data() + pos, take));
+        leaf_area_id(), ext->first_page(), data.data() + pos, take));
     LOB_RETURN_IF_ERROR(tree_->InsertLeaf(
-        id, at, {static_cast<uint32_t>(take), seg->first_page}, &ctx));
+        id, at, {static_cast<uint32_t>(take), ext->first_page()}, &ctx));
+    ext->Commit();
+    // Keep the aux word (allocated pages of the last segment) in step with
+    // every inserted segment: if a later iteration fails, the object's
+    // accounting still describes exactly what the tree references. The
+    // root is hot, so this costs no I/O.
+    LOB_RETURN_IF_ERROR(tree_->SetAux(id, pages));
     last_alloc = pages;
     at += take;
     pos += take;
@@ -173,10 +183,16 @@ Status EosManager::TrimLastSlack(ObjectId id, OpContext* ctx) {
   auto last = tree_->LastLeaf(id);
   if (!last.ok()) return last.status();
   const uint32_t needed = PagesFor(last->bytes);
+  // Commit the new accounting (aux = 0: exactly sized) before releasing
+  // the slack pages. In the old order a fault between the free and the
+  // SetAux left aux claiming pages the allocator had already reclaimed —
+  // a double-allocation waiting to happen once they were reused. The
+  // frees themselves cannot fail under I/O faults.
+  LOB_RETURN_IF_ERROR(tree_->SetAux(id, 0));
   if (*aux > needed) {
     LOB_RETURN_IF_ERROR(FreePages(last->page + needed, *aux - needed));
   }
-  return tree_->SetAux(id, 0);
+  return Status::OK();
 }
 
 Status EosManager::RefreshAux(ObjectId id) {
@@ -194,10 +210,11 @@ Status EosManager::InsertFreshSegments(ObjectId id, uint64_t at,
       static_cast<uint64_t>(options_.max_segment_pages) * page_size();
   while (pos < data.size()) {
     const uint64_t take = std::min<uint64_t>(data.size() - pos, max_bytes);
-    auto page = WriteNewSegment(data.substr(pos, take), ctx);
-    if (!page.ok()) return page.status();
+    auto ext = WriteNewSegment(data.substr(pos, take), ctx);
+    if (!ext.ok()) return ext.status();
     LOB_RETURN_IF_ERROR(tree_->InsertLeaf(
-        id, at, {static_cast<uint32_t>(take), *page}, ctx));
+        id, at, {static_cast<uint32_t>(take), ext->first_page()}, ctx));
+    ext->Commit();
     at += take;
     pos += take;
   }
@@ -230,11 +247,16 @@ Status EosManager::Insert(ObjectId id, uint64_t offset,
     std::string content(leaf->bytes, '\0');
     LOB_RETURN_IF_ERROR(ReadLeaf(*leaf, 0, leaf->bytes, content.data()));
     content.insert(local, data.data(), data.size());
+    // Install the rewritten segment in the tree before freeing the old
+    // one: freeing first left the tree pointing at reclaimed pages if the
+    // repoint failed.
     auto np = WriteNewSegment(content, &ctx);
     if (!np.ok()) return np.status();
-    LOB_RETURN_IF_ERROR(FreePages(leaf->page, PagesFor(leaf->bytes)));
     LOB_RETURN_IF_ERROR(tree_->UpdateLeaf(
-        id, leaf->start, static_cast<int64_t>(data.size()), *np, &ctx));
+        id, leaf->start, static_cast<int64_t>(data.size()),
+        np->first_page(), &ctx));
+    np->Commit();
+    LOB_RETURN_IF_ERROR(FreePages(leaf->page, PagesFor(leaf->bytes)));
     LOB_RETURN_IF_ERROR(
         EnforceThreshold(id, offset, offset + data.size(), &ctx));
     LOB_RETURN_IF_ERROR(RefreshAux(id));
@@ -346,7 +368,9 @@ Status EosManager::Delete(ObjectId id, uint64_t offset, uint64_t n) {
         if (!np.ok()) return np.status();
         LOB_RETURN_IF_ERROR(tree_->UpdateLeaf(
             id, leaf->start,
-            -static_cast<int64_t>(take + right_pages_bytes), *np, &ctx));
+            -static_cast<int64_t>(take + right_pages_bytes),
+            np->first_page(), &ctx));
+        np->Commit();
         if (right_pages_bytes > 0) {
           LOB_RETURN_IF_ERROR(tree_->InsertLeaf(
               id, leaf->start + straddle,
@@ -366,11 +390,14 @@ Status EosManager::Delete(ObjectId id, uint64_t offset, uint64_t n) {
       std::string content(leaf->bytes, '\0');
       LOB_RETURN_IF_ERROR(ReadLeaf(*leaf, 0, leaf->bytes, content.data()));
       content.erase(local, take);
+      // Repoint the tree first, then free the old pages (see Insert).
       auto np = WriteNewSegment(content, &ctx);
       if (!np.ok()) return np.status();
-      LOB_RETURN_IF_ERROR(FreePages(leaf->page, old_pages));
       LOB_RETURN_IF_ERROR(tree_->UpdateLeaf(
-          id, leaf->start, -static_cast<int64_t>(take), *np, &ctx));
+          id, leaf->start, -static_cast<int64_t>(take), np->first_page(),
+          &ctx));
+      np->Commit();
+      LOB_RETURN_IF_ERROR(FreePages(leaf->page, old_pages));
     } else {
       // Removal strictly inside one segment: the left part stays; the
       // right part's whole pages stay in place and only the bytes
@@ -416,7 +443,8 @@ Status EosManager::Delete(ObjectId id, uint64_t offset, uint64_t n) {
           if (!np.ok()) return np.status();
           LOB_RETURN_IF_ERROR(tree_->InsertLeaf(
               id, leaf->start + local,
-              {static_cast<uint32_t>(straddle), *np}, &ctx));
+              {static_cast<uint32_t>(straddle), np->first_page()}, &ctx));
+          np->Commit();
         }
         // Free the pages between the left part and the right pages
         // (including the straddle page, whose live bytes moved out).
@@ -453,8 +481,9 @@ Status EosManager::ShuffleLeaves(ObjectId id,
     LOB_RETURN_IF_ERROR(ReadLeaf(b, 0, m, content.data() + a.bytes));
     auto np = WriteNewSegment(content, ctx);
     if (!np.ok()) return np.status();
-    LOB_RETURN_IF_ERROR(
-        tree_->UpdateLeaf(id, a.start, static_cast<int64_t>(m), *np, ctx));
+    LOB_RETURN_IF_ERROR(tree_->UpdateLeaf(
+        id, a.start, static_cast<int64_t>(m), np->first_page(), ctx));
+    np->Commit();
     // b shrank by m from the front; identify it by an offset inside it.
     LOB_RETURN_IF_ERROR(tree_->UpdateLeaf(
         id, a.start + a.bytes + m, -static_cast<int64_t>(m),
@@ -477,7 +506,9 @@ Status EosManager::ShuffleLeaves(ObjectId id,
   const uint32_t keep = PagesFor(a.bytes - m);
   LOB_RETURN_IF_ERROR(FreePages(a.page + keep, PagesFor(a.bytes) - keep));
   LOB_RETURN_IF_ERROR(tree_->UpdateLeaf(
-      id, a.start + a.bytes - m, static_cast<int64_t>(m), *np, ctx));
+      id, a.start + a.bytes - m, static_cast<int64_t>(m), np->first_page(),
+      ctx));
+  np->Commit();  // the tree references the new segment now
   return FreePages(b.page, PagesFor(b.bytes));
 }
 
@@ -493,9 +524,13 @@ Status EosManager::MergeLeaves(ObjectId id,
   if (!np.ok()) return np.status();
   auto removed = tree_->RemoveLeaf(id, b.start, ctx);
   if (!removed.ok()) return removed.status();
-  LOB_RETURN_IF_ERROR(FreePages(removed->page, PagesFor(b.bytes)));
+  // Repoint a's entry at the merged segment before freeing either old
+  // segment: if the repoint fails mid-way the tree still references live
+  // pages (the guard reclaims the merged copy) instead of freed ones.
   LOB_RETURN_IF_ERROR(tree_->UpdateLeaf(
-      id, a.start, static_cast<int64_t>(b.bytes), *np, ctx));
+      id, a.start, static_cast<int64_t>(b.bytes), np->first_page(), ctx));
+  np->Commit();
+  LOB_RETURN_IF_ERROR(FreePages(removed->page, PagesFor(b.bytes)));
   return FreePages(a.page, PagesFor(a.bytes));
 }
 
@@ -581,7 +616,9 @@ Status EosManager::Replace(ObjectId id, uint64_t offset,
       content.replace(local, take, data.substr(done, take));
       auto np = WriteNewSegment(content, &ctx);
       if (!np.ok()) return np.status();
-      LOB_RETURN_IF_ERROR(tree_->UpdateLeaf(id, leaf->start, 0, *np, &ctx));
+      LOB_RETURN_IF_ERROR(
+          tree_->UpdateLeaf(id, leaf->start, 0, np->first_page(), &ctx));
+      np->Commit();
       LOB_RETURN_IF_ERROR(FreePages(leaf->page, PagesFor(leaf->bytes)));
     } else {
       LOB_RETURN_IF_ERROR(sys_->pool()->WriteSegmentRange(
@@ -642,6 +679,26 @@ Status EosManager::VisitSegments(
     const uint32_t pages =
         is_last && *aux != 0 ? *aux : PagesFor(leaf.bytes);
     return fn(leaf.bytes, pages);
+  });
+}
+
+Status EosManager::VisitOwnedExtents(
+    ObjectId id, const std::function<Status(const OwnedExtent&)>& fn) {
+  LOB_RETURN_IF_ERROR(tree_->VisitIndexPages(id, [&](PageId page) {
+    return fn({sys_->meta_area()->id(), page, 1});
+  }));
+  auto aux = tree_->GetAux(id);
+  if (!aux.ok()) return aux.status();
+  auto size = tree_->Size(id);
+  if (!size.ok()) return size.status();
+  const uint64_t total = *size;
+  return tree_->VisitLeaves(id, [&](const auto& leaf) {
+    // The last segment may carry growth slack; the aux word records its
+    // allocated page count (0 = exactly sized).
+    const bool is_last = leaf.start + leaf.bytes == total;
+    const uint32_t pages =
+        is_last && *aux != 0 ? *aux : PagesFor(leaf.bytes);
+    return fn({leaf_area_id(), leaf.page, pages});
   });
 }
 

@@ -32,6 +32,7 @@
 #include <memory>
 #include <vector>
 
+#include "buddy/scoped_extent.h"
 #include "core/large_object.h"
 #include "core/storage_system.h"
 #include "lobtree/positional_tree.h"
@@ -72,6 +73,9 @@ class EosManager : public LargeObjectManager {
   [[nodiscard]] Status VisitSegments(
       ObjectId id,
       const std::function<Status(uint64_t, uint32_t)>& fn) override;
+  [[nodiscard]] Status VisitOwnedExtents(
+      ObjectId id,
+      const std::function<Status(const OwnedExtent&)>& fn) override;
   [[nodiscard]] Status Trim(ObjectId id) override;
   Engine engine() const override { return Engine::kEos; }
 
@@ -93,10 +97,13 @@ class EosManager : public LargeObjectManager {
   /// Frees `pages` pages of a segment starting at `page`.
   [[nodiscard]] Status FreePages(PageId page, uint32_t pages);
 
-  /// Allocates a fresh segment of exactly PagesFor(content) pages and
-  /// writes `content` into it.
+  /// Allocates a fresh segment of exactly PagesFor(content) pages under
+  /// guard and writes `content` into it. The caller must Commit() the
+  /// extent once the tree references it; otherwise the guard releases the
+  /// segment on scope exit (no leak on error paths).
   [[nodiscard]]
-  StatusOr<PageId> WriteNewSegment(std::string_view content, OpContext* ctx);
+  StatusOr<ScopedExtent> WriteNewSegment(std::string_view content,
+                                         OpContext* ctx);
 
   /// Frees the allocated-but-unused tail pages of the last segment so
   /// that, for the duration of a structural update, every segment is

@@ -71,8 +71,12 @@ Status EsmManager::Destroy(ObjectId id) {
     leaves.push_back(leaf.page);
     return Status::OK();
   }));
+  // Destroy the index first: if the tree walk fails part-way through, the
+  // object is still well-formed (leaves intact) and the destroy can be
+  // retried. The leaf frees afterwards cannot fail under I/O faults.
+  LOB_RETURN_IF_ERROR(tree_->DestroyObject(id));
   for (PageId p : leaves) LOB_RETURN_IF_ERROR(FreeLeaf(p));
-  return tree_->DestroyObject(id);
+  return Status::OK();
 }
 
 StatusOr<uint64_t> EsmManager::Size(ObjectId id) {
@@ -86,15 +90,17 @@ Status EsmManager::ReadLeaf(PageId page, uint64_t bytes, uint64_t off,
                                         dst);
 }
 
-StatusOr<PageId> EsmManager::WriteNewLeaf(std::string_view content,
-                                          OpContext* ctx) {
+StatusOr<ScopedExtent> EsmManager::WriteNewLeaf(std::string_view content,
+                                                OpContext* ctx) {
   LOB_CHECK_LE(content.size(), LeafCapacity());
-  auto seg = sys_->leaf_area()->Allocate(options_.leaf_pages);
-  if (!seg.ok()) return seg.status();
+  auto ext = ScopedExtent::Allocate(sys_->leaf_area(), sys_->pool(),
+                                    options_.leaf_pages);
+  if (!ext.ok()) return ext.status();
   (void)ctx;
+  // A failed write rolls the allocation back via the guard.
   LOB_RETURN_IF_ERROR(sys_->pool()->WriteFreshSegment(
-      leaf_area_id(), seg->first_page, content.data(), content.size()));
-  return seg->first_page;
+      leaf_area_id(), ext->first_page(), content.data(), content.size()));
+  return ext;
 }
 
 Status EsmManager::FreeLeaf(PageId page) {
@@ -189,13 +195,16 @@ Status EsmManager::AppendWithRedistribution(
     LOB_RETURN_IF_ERROR(FreeLeaf(p.page));
   }
 
-  // Write the redistributed leaves.
+  // Write the redistributed leaves. Each fresh segment stays under guard
+  // until the tree references it, so a failure part-way through the loop
+  // releases the in-flight segment instead of leaking it.
   uint64_t src = 0;
   for (uint64_t sz : sizes) {
-    auto page = WriteNewLeaf(std::string_view(content).substr(src, sz), ctx);
-    if (!page.ok()) return page.status();
+    auto ext = WriteNewLeaf(std::string_view(content).substr(src, sz), ctx);
+    if (!ext.ok()) return ext.status();
     LOB_RETURN_IF_ERROR(tree_->InsertLeaf(
-        id, insert_at, {static_cast<uint32_t>(sz), *page}, ctx));
+        id, insert_at, {static_cast<uint32_t>(sz), ext->first_page()}, ctx));
+    ext->Commit();
     insert_at += sz;
     src += sz;
   }
@@ -239,10 +248,16 @@ Status EsmManager::RewriteLeaf(ObjectId id,
   const int64_t delta = static_cast<int64_t>(content.size()) -
                         static_cast<int64_t>(leaf.bytes);
   if (sys_->config().shadowing) {
-    auto page = WriteNewLeaf(content, ctx);
-    if (!page.ok()) return page.status();
-    LOB_RETURN_IF_ERROR(FreeLeaf(leaf.page));
-    return tree_->UpdateLeaf(id, leaf.start, delta, *page, ctx);
+    // Write the shadow leaf, repoint the tree at it, and only then free
+    // the old segment. A failure before the repoint rolls the shadow back
+    // via its guard; freeing first would leave the tree referencing a
+    // freed segment if the repoint failed.
+    auto ext = WriteNewLeaf(content, ctx);
+    if (!ext.ok()) return ext.status();
+    LOB_RETURN_IF_ERROR(
+        tree_->UpdateLeaf(id, leaf.start, delta, ext->first_page(), ctx));
+    ext->Commit();
+    return FreeLeaf(leaf.page);
   }
   LOB_RETURN_IF_ERROR(sys_->pool()->WriteSegmentRange(
       leaf_area_id(), leaf.page, leaf.bytes, 0, content.size(),
@@ -326,11 +341,15 @@ Status EsmManager::Insert(ObjectId id, uint64_t offset,
                              &ctx);
       if (!lp.ok()) return lp.status();
       LOB_RETURN_IF_ERROR(tree_->InsertLeaf(
-          id, base, {static_cast<uint32_t>(left_sz), *lp}, &ctx));
+          id, base, {static_cast<uint32_t>(left_sz), lp->first_page()},
+          &ctx));
+      lp->Commit();
       auto rp = WriteNewLeaf(std::string_view(content).substr(left_sz), &ctx);
       if (!rp.ok()) return rp.status();
       LOB_RETURN_IF_ERROR(tree_->InsertLeaf(
-          id, base + left_sz, {static_cast<uint32_t>(right_sz), *rp}, &ctx));
+          id, base + left_sz,
+          {static_cast<uint32_t>(right_sz), rp->first_page()}, &ctx));
+      rp->Commit();
       return ctx.Finish();
     }
   }
@@ -347,10 +366,11 @@ Status EsmManager::Insert(ObjectId id, uint64_t offset,
   uint64_t at = leaf->start;
   uint64_t src = 0;
   for (uint64_t sz : DistributeEven(content.size(), cap)) {
-    auto page = WriteNewLeaf(std::string_view(content).substr(src, sz), &ctx);
-    if (!page.ok()) return page.status();
-    LOB_RETURN_IF_ERROR(
-        tree_->InsertLeaf(id, at, {static_cast<uint32_t>(sz), *page}, &ctx));
+    auto ext = WriteNewLeaf(std::string_view(content).substr(src, sz), &ctx);
+    if (!ext.ok()) return ext.status();
+    LOB_RETURN_IF_ERROR(tree_->InsertLeaf(
+        id, at, {static_cast<uint32_t>(sz), ext->first_page()}, &ctx));
+    ext->Commit();
     at += sz;
     src += sz;
   }
@@ -434,10 +454,12 @@ Status EsmManager::FixupUnderflow(ObjectId id, uint64_t offset,
     }
     if (content.size() <= cap) {
       // Merge into one leaf.
-      auto page = WriteNewLeaf(content, ctx);
-      if (!page.ok()) return page.status();
+      auto ext = WriteNewLeaf(content, ctx);
+      if (!ext.ok()) return ext.status();
       LOB_RETURN_IF_ERROR(tree_->InsertLeaf(
-          id, a.start, {static_cast<uint32_t>(content.size()), *page}, ctx));
+          id, a.start,
+          {static_cast<uint32_t>(content.size()), ext->first_page()}, ctx));
+      ext->Commit();
       continue;  // the merged leaf may itself be underfull
     }
     // Borrow: split evenly (both at least half full since total > cap).
@@ -445,12 +467,16 @@ Status EsmManager::FixupUnderflow(ObjectId id, uint64_t offset,
     auto lp = WriteNewLeaf(std::string_view(content).substr(0, left_sz), ctx);
     if (!lp.ok()) return lp.status();
     LOB_RETURN_IF_ERROR(tree_->InsertLeaf(
-        id, a.start, {static_cast<uint32_t>(left_sz), *lp}, ctx));
+        id, a.start, {static_cast<uint32_t>(left_sz), lp->first_page()},
+        ctx));
+    lp->Commit();
     auto rp = WriteNewLeaf(std::string_view(content).substr(left_sz), ctx);
     if (!rp.ok()) return rp.status();
     LOB_RETURN_IF_ERROR(tree_->InsertLeaf(
         id, a.start + left_sz,
-        {static_cast<uint32_t>(content.size() - left_sz), *rp}, ctx));
+        {static_cast<uint32_t>(content.size() - left_sz), rp->first_page()},
+        ctx));
+    rp->Commit();
     // Both halves are at least half full; one more round re-checks the
     // other deletion boundary.
   }
@@ -511,6 +537,16 @@ Status EsmManager::VisitSegments(
     ObjectId id, const std::function<Status(uint64_t, uint32_t)>& fn) {
   return tree_->VisitLeaves(id, [&](const auto& leaf) {
     return fn(leaf.bytes, options_.leaf_pages);
+  });
+}
+
+Status EsmManager::VisitOwnedExtents(
+    ObjectId id, const std::function<Status(const OwnedExtent&)>& fn) {
+  LOB_RETURN_IF_ERROR(tree_->VisitIndexPages(id, [&](PageId page) {
+    return fn({sys_->meta_area()->id(), page, 1});
+  }));
+  return tree_->VisitLeaves(id, [&](const auto& leaf) {
+    return fn({leaf_area_id(), leaf.page, options_.leaf_pages});
   });
 }
 

@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "buddy/scoped_extent.h"
 #include "core/large_object.h"
 #include "core/storage_system.h"
 #include "lobtree/positional_tree.h"
@@ -68,6 +69,9 @@ class EsmManager : public LargeObjectManager {
   [[nodiscard]] Status VisitSegments(
       ObjectId id,
       const std::function<Status(uint64_t, uint32_t)>& fn) override;
+  [[nodiscard]] Status VisitOwnedExtents(
+      ObjectId id,
+      const std::function<Status(const OwnedExtent&)>& fn) override;
   [[nodiscard]] Status Trim(ObjectId id) override {
     OpScope obs_scope(sys_->disk(), "esm.trim");
     return tree_->Size(id).status();  // fixed-size leaves: nothing to trim
@@ -88,10 +92,13 @@ class EsmManager : public LargeObjectManager {
   Status ReadLeaf(PageId page, uint64_t bytes, uint64_t off, uint64_t n,
                   char* dst);
 
-  /// Allocates a leaf segment and writes `content` into its first pages;
-  /// schedules the dirty run for end-of-operation flush.
+  /// Allocates a leaf segment under guard and writes `content` into its
+  /// first pages with one sequential I/O. The caller must Commit() the
+  /// returned extent once the tree references the leaf; otherwise the
+  /// guard releases the segment on scope exit (no leak on error paths).
   [[nodiscard]]
-  StatusOr<PageId> WriteNewLeaf(std::string_view content, OpContext* ctx);
+  StatusOr<ScopedExtent> WriteNewLeaf(std::string_view content,
+                                      OpContext* ctx);
 
   /// Frees a leaf segment, dropping any buffered copies of its pages.
   [[nodiscard]] Status FreeLeaf(PageId page);

@@ -1,0 +1,69 @@
+#include "iomodel/fault_model.h"
+
+#include <cstdio>
+
+namespace lob {
+
+namespace {
+
+/// SplitMix64 (Steele, Lea & Flood): tiny, statistically solid, and —
+/// crucially for campaign replay — identical on every platform.
+uint64_t SplitMix64Next(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+const char* KindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kOneShot:
+      return "one-shot";
+    case FaultKind::kSticky:
+      return "sticky";
+    case FaultKind::kTransient:
+      return "transient";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string FaultSpec::ToString() const {
+  char buf[256];
+  const char* dir = match_reads ? (match_writes ? "rw" : "r") : "w";
+  int n = std::snprintf(buf, sizeof(buf), "%s %s after=%llu", KindName(kind),
+                        dir, static_cast<unsigned long long>(after_calls));
+  if (kind == FaultKind::kTransient) {
+    n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
+                       " fail_calls=%u", fail_calls);
+  }
+  if (!op_prefix.empty()) {
+    n += std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
+                       " op=%s*", op_prefix.c_str());
+  }
+  if (match_range) {
+    std::snprintf(buf + n, sizeof(buf) - static_cast<size_t>(n),
+                  " pages=%u:[%u,%u]", area, first_page, last_page);
+  }
+  return buf;
+}
+
+FaultPlan FaultPlan::RandomOneShots(uint64_t seed, uint32_t count,
+                                    uint64_t max_after_calls) {
+  FaultPlan plan;
+  plan.seed = seed;
+  uint64_t state = seed;
+  plan.faults.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FaultSpec spec;
+    spec.kind = FaultKind::kOneShot;
+    // Unbiased enough for fault scheduling; the modulo bias over a 64-bit
+    // draw is negligible for any practical max_after_calls.
+    spec.after_calls = SplitMix64Next(&state) % (max_after_calls + 1);
+    plan.faults.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+}  // namespace lob

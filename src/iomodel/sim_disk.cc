@@ -1,5 +1,6 @@
 #include "iomodel/sim_disk.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.h"
@@ -61,6 +62,87 @@ void SimDisk::AccountCall(bool is_read, uint32_t n_pages) {
   }
 }
 
+void SimDisk::ArmFault(const FaultSpec& spec) {
+  ArmedFault armed;
+  armed.spec = spec;
+  faults_.push_back(std::move(armed));
+}
+
+void SimDisk::ArmPlan(const FaultPlan& plan) {
+  for (const FaultSpec& spec : plan.faults) ArmFault(spec);
+}
+
+uint32_t SimDisk::armed_faults() const {
+  uint32_t n = 0;
+  for (const ArmedFault& f : faults_) {
+    if (!f.exhausted) ++n;
+  }
+  return n;
+}
+
+void SimDisk::InjectFailureAfter(int64_t calls) {
+  faults_.erase(std::remove_if(faults_.begin(), faults_.end(),
+                               [](const ArmedFault& f) { return f.legacy; }),
+                faults_.end());
+  if (calls < 0) return;
+  ArmedFault armed;
+  armed.spec.kind = FaultKind::kSticky;
+  armed.spec.after_calls = static_cast<uint64_t>(calls);
+  armed.legacy = true;
+  faults_.push_back(std::move(armed));
+}
+
+Status SimDisk::CheckFaults(bool is_read, AreaId area, PageId first,
+                            uint32_t n_pages) {
+  // Unmetered sections (audit walks, fsck, timeline sampling) are outside
+  // the fault model entirely: they neither fire faults nor advance any
+  // countdown. See the contract in sim_disk.h.
+  if (attribution_suspended_ != 0) return Status::OK();
+  if (faults_.empty()) {
+    ++foreground_calls_;
+    return Status::OK();
+  }
+  const PageId last = first + n_pages - 1;
+  const char* op = current_op_ != nullptr ? current_op_ : "";
+  auto matches = [&](const FaultSpec& s) {
+    if (is_read ? !s.match_reads : !s.match_writes) return false;
+    if (!s.op_prefix.empty() &&
+        std::strncmp(op, s.op_prefix.c_str(), s.op_prefix.size()) != 0) {
+      return false;
+    }
+    if (s.match_range &&
+        (s.area != area || last < s.first_page || first > s.last_page)) {
+      return false;
+    }
+    return true;
+  };
+  // First pass: does an armed, due fault fire on this call? Earliest-armed
+  // wins; a fired call advances no counters (it "never happened" in the
+  // cost model).
+  for (ArmedFault& f : faults_) {
+    if (f.exhausted || !matches(f.spec)) continue;
+    if (f.matched_calls < f.spec.after_calls) continue;
+    ++f.fired;
+    switch (f.spec.kind) {
+      case FaultKind::kOneShot:
+        f.exhausted = true;
+        break;
+      case FaultKind::kTransient:
+        if (f.fired >= f.spec.fail_calls) f.exhausted = true;
+        break;
+      case FaultKind::kSticky:
+        break;
+    }
+    return Status::Internal(f.spec.message);
+  }
+  // Second pass: the call succeeds; advance every matching countdown.
+  for (ArmedFault& f : faults_) {
+    if (!f.exhausted && matches(f.spec)) ++f.matched_calls;
+  }
+  ++foreground_calls_;
+  return Status::OK();
+}
+
 Status SimDisk::CheckRange(AreaId area, PageId first, uint32_t n_pages) const {
   if (area >= areas_.size()) {
     return Status::InvalidArgument("no such area");
@@ -90,10 +172,7 @@ char* SimDisk::PageData(Area& area, PageId page, bool create) {
 
 Status SimDisk::Read(AreaId area, PageId first, uint32_t n_pages, void* dst) {
   LOB_RETURN_IF_ERROR(CheckRange(area, first, n_pages));
-  if (fail_after_ >= 0) {
-    if (fail_after_ == 0) return Status::Internal("injected I/O failure");
-    fail_after_--;
-  }
+  LOB_RETURN_IF_ERROR(CheckFaults(/*is_read=*/true, area, first, n_pages));
   char* out = static_cast<char*>(dst);
   Area& a = areas_[area];
   for (uint32_t i = 0; i < n_pages; ++i) {
@@ -112,10 +191,7 @@ Status SimDisk::Read(AreaId area, PageId first, uint32_t n_pages, void* dst) {
 Status SimDisk::Write(AreaId area, PageId first, uint32_t n_pages,
                       const void* src) {
   LOB_RETURN_IF_ERROR(CheckRange(area, first, n_pages));
-  if (fail_after_ >= 0) {
-    if (fail_after_ == 0) return Status::Internal("injected I/O failure");
-    fail_after_--;
-  }
+  LOB_RETURN_IF_ERROR(CheckFaults(/*is_read=*/false, area, first, n_pages));
   const char* in = static_cast<const char*>(src);
   Area& a = areas_[area];
   for (uint32_t i = 0; i < n_pages; ++i) {

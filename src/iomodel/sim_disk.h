@@ -21,6 +21,7 @@
 
 #include "common/config.h"
 #include "common/status.h"
+#include "iomodel/fault_model.h"
 #include "iomodel/io_stats.h"
 #include "trace/tracing.h"
 
@@ -87,11 +88,53 @@ class SimDisk {
   /// I/O path.
   const char* PeekPage(AreaId area, PageId page) const;
 
-  /// Failure injection (tests): after `calls` further successful I/O
-  /// calls, every Read/Write fails with Internal until cleared with a
-  /// negative value. Lets tests verify that I/O errors propagate as
-  /// Status through every layer instead of crashing or corrupting state.
-  void InjectFailureAfter(int64_t calls) { fail_after_ = calls; }
+  // ---- Failure injection (see iomodel/fault_model.h) ----
+  //
+  // Countdown contract: a fault's `after_calls` counts *attributed
+  // foreground* I/O calls only — calls made while attribution is
+  // suspended (StorageSystem::UnmeteredSection: audit walks, fsck,
+  // timeline sampling) neither fire faults nor advance any countdown,
+  // and always succeed even while a sticky fault is live. BufferPool
+  // flushes (FlushRun/FlushAll) issued on behalf of an operation are
+  // ordinary foreground calls and do count. The countdown is
+  // off-by-one-free: `after_calls == k` means exactly k matching calls
+  // succeed and the (k+1)-th matching call fails. A fired fault does not
+  // advance the match counters of other armed faults or the
+  // foreground-call counter (the failed call "never happened" in the
+  // cost model — CheckRange validation errors likewise do not count).
+
+  /// Arms one fault in addition to any already armed. When several armed
+  /// faults are due on the same call, the earliest-armed one fires.
+  void ArmFault(const FaultSpec& spec);
+
+  /// Arms every fault of `plan` (in order) in addition to any already
+  /// armed.
+  void ArmPlan(const FaultPlan& plan);
+
+  /// Disarms all faults, including any armed via InjectFailureAfter.
+  void ClearFaults() { faults_.clear(); }
+
+  /// Number of armed faults that have not yet exhausted (a sticky fault
+  /// never exhausts; a one-shot fault exhausts after firing once).
+  uint32_t armed_faults() const;
+
+  /// Attributed foreground I/O calls that *succeeded* since construction
+  /// (never reset; unaffected by ResetStats/SetStats). Campaign baselines
+  /// read this to size their fault sweeps. Note that each fault's
+  /// `after_calls` countdown is *relative to its arming* (it counts
+  /// matching successful calls from ArmFault on), not against this
+  /// absolute clock: arming a one-shot fault with `after_calls == k`
+  /// fails the (k+1)-th subsequent matching call, wherever the global
+  /// clock stands.
+  uint64_t foreground_calls() const { return foreground_calls_; }
+
+  /// Legacy single-knob injection (tests): after `calls` further
+  /// attributed foreground I/O calls, every such call fails with
+  /// Internal until cleared with a negative value. Implemented as a
+  /// sticky FaultSpec; a negative `calls` removes only faults armed
+  /// through this entry point (faults armed via ArmFault/ArmPlan stay).
+  /// See the countdown contract above for exactly which calls count.
+  void InjectFailureAfter(int64_t calls);
 
   // ---- Per-operation attribution (see obs/obs_registry.h) ----
 
@@ -140,9 +183,26 @@ class SimDisk {
     std::vector<std::unique_ptr<char[]>> pages;
   };
 
+  /// One armed fault: the spec plus its progress counters.
+  struct ArmedFault {
+    FaultSpec spec;
+    uint64_t matched_calls = 0;  ///< matching calls that succeeded so far
+    uint32_t fired = 0;          ///< matching calls this fault failed
+    bool exhausted = false;
+    bool legacy = false;  ///< armed via InjectFailureAfter
+  };
+
   [[nodiscard]]
   Status CheckRange(AreaId area, PageId first, uint32_t n_pages) const;
   char* PageData(Area& area, PageId page, bool create);
+
+  /// Fault gate for one metered call. Returns a non-OK Status when an
+  /// armed fault fires; otherwise advances the countdowns of all
+  /// matching faults (and foreground_calls_) and returns OK. No-op while
+  /// attribution is suspended.
+  [[nodiscard]]
+  Status CheckFaults(bool is_read, AreaId area, PageId first,
+                     uint32_t n_pages);
 
   /// Meters one successful call: accumulates into the global stats and
   /// charges the current operation in the attached registry.
@@ -151,7 +211,8 @@ class SimDisk {
   StorageConfig config_;
   std::vector<Area> areas_;
   IoStats stats_;
-  int64_t fail_after_ = -1;  ///< <0: disabled; 0: failing; >0: countdown
+  std::vector<ArmedFault> faults_;
+  uint64_t foreground_calls_ = 0;
   ObsRegistry* obs_ = nullptr;
   TraceSession* trace_ = nullptr;
   const char* current_op_ = nullptr;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "buddy/scoped_extent.h"
 #include "common/logging.h"
 #include "trace/trace_span.h"
 
@@ -57,15 +58,18 @@ PositionalTree::PositionalTree(const TreeConfig& config) : config_(config) {
 
 StatusOr<PageId> PositionalTree::CreateObject(uint8_t engine) {
   LOB_TRACE_SPAN(config_.pool->disk(), "tree.create");
-  auto seg = config_.meta_area->Allocate(1);
-  if (!seg.ok()) return seg.status();
-  auto g = config_.pool->FixPage(meta_area_id(), seg->first_page,
-                                 FixMode::kNew);
-  if (!g.ok()) return g.status();
-  NodeView v(g->data(), config_.pool->page_size(), /*is_root=*/true);
-  v.Init(/*height=*/1, engine);
-  g->MarkDirty();
-  return seg->first_page;
+  auto ext = ScopedExtent::Allocate(config_.meta_area, config_.pool, 1);
+  if (!ext.ok()) return ext.status();
+  {
+    auto g = config_.pool->FixPage(meta_area_id(), ext->first_page(),
+                                   FixMode::kNew);
+    if (!g.ok()) return g.status();  // ext rolls the root page back
+    NodeView v(g->data(), config_.pool->page_size(), /*is_root=*/true);
+    v.Init(/*height=*/1, engine);
+    g->MarkDirty();
+  }
+  ext->Commit();
+  return ext->first_page();
 }
 
 Status PositionalTree::FreeIndexPage(PageId page) {
@@ -151,17 +155,21 @@ StatusOr<PageId> PositionalTree::PrepareModify(PageId page, OpContext* ctx) {
     return page;
   }
   if (ctx->AlreadyShadowed(meta_area_id(), page)) return page;
-  auto seg = config_.meta_area->Allocate(1);
-  if (!seg.ok()) return seg.status();
-  const PageId np = seg->first_page;
+  auto ext = ScopedExtent::Allocate(config_.meta_area, config_.pool, 1);
+  if (!ext.ok()) return ext.status();
+  const PageId np = ext->first_page();
   {
     auto old_g = config_.pool->FixPage(meta_area_id(), page, FixMode::kRead);
-    if (!old_g.ok()) return old_g.status();
+    if (!old_g.ok()) return old_g.status();  // ext rolls the shadow back
     auto new_g = config_.pool->FixPage(meta_area_id(), np, FixMode::kNew);
     if (!new_g.ok()) return new_g.status();
     std::memcpy(new_g->data(), old_g->data(), config_.pool->page_size());
     new_g->MarkDirty();
   }
+  // The shadow copy is complete: commit it, then retire the old page.
+  // (Invalidate and Free cannot fail under injected I/O faults: the pins
+  // are released and DatabaseArea::Free absorbs directory-write errors.)
+  ext->Commit();
   LOB_RETURN_IF_ERROR(config_.pool->Invalidate(meta_area_id(), page, 1));
   LOB_RETURN_IF_ERROR(config_.meta_area->Free(page, 1));
   ctx->NoteShadowed(meta_area_id(), np);
@@ -171,17 +179,20 @@ StatusOr<PageId> PositionalTree::PrepareModify(PageId page, OpContext* ctx) {
 
 StatusOr<PageId> PositionalTree::NewInternalNode(uint16_t height,
                                                  OpContext* ctx) {
-  auto seg = config_.meta_area->Allocate(1);
-  if (!seg.ok()) return seg.status();
-  auto g = config_.pool->FixPage(meta_area_id(), seg->first_page,
-                                 FixMode::kNew);
-  if (!g.ok()) return g.status();
-  NodeView v(g->data(), config_.pool->page_size(), /*is_root=*/false);
-  v.Init(height);
-  g->MarkDirty();
-  ctx->NoteShadowed(meta_area_id(), seg->first_page);
-  ctx->DeferFlush(meta_area_id(), seg->first_page, 1);
-  return seg->first_page;
+  auto ext = ScopedExtent::Allocate(config_.meta_area, config_.pool, 1);
+  if (!ext.ok()) return ext.status();
+  {
+    auto g = config_.pool->FixPage(meta_area_id(), ext->first_page(),
+                                   FixMode::kNew);
+    if (!g.ok()) return g.status();  // ext rolls the node back
+    NodeView v(g->data(), config_.pool->page_size(), /*is_root=*/false);
+    v.Init(height);
+    g->MarkDirty();
+  }
+  ext->Commit();
+  ctx->NoteShadowed(meta_area_id(), ext->first_page());
+  ctx->DeferFlush(meta_area_id(), ext->first_page(), 1);
+  return ext->first_page();
 }
 
 StatusOr<PositionalTree::SplitResult> PositionalTree::InsertPairInNode(
@@ -604,6 +615,34 @@ Status PositionalTree::VisitRec(
 Status PositionalTree::VisitLeaves(
     PageId root, const std::function<Status(const LeafInfo&)>& fn) {
   return VisitRec(root, /*is_root=*/true, 0, fn);
+}
+
+Status PositionalTree::VisitIndexPages(
+    PageId root, const std::function<Status(PageId)>& fn) {
+  struct Walker {
+    PositionalTree* tree;
+    const std::function<Status(PageId)>& fn;
+    Status Visit(PageId page, bool is_root) {
+      LOB_RETURN_IF_ERROR(fn(page));
+      std::vector<PageId> children;
+      {
+        auto g = tree->config_.pool->FixPage(tree->meta_area_id(), page,
+                                             FixMode::kRead);
+        if (!g.ok()) return g.status();
+        NodeView v(g->data(), tree->config_.pool->page_size(), is_root);
+        if (!v.IsValid()) return Status::Corruption("bad node magic");
+        if (v.height() > 1) {
+          for (uint32_t i = 0; i < v.npairs(); ++i) {
+            children.push_back(v.Page(i));
+          }
+        }
+      }
+      for (PageId c : children) LOB_RETURN_IF_ERROR(Visit(c, false));
+      return Status::OK();
+    }
+  };
+  Walker w{this, fn};
+  return w.Visit(root, /*is_root=*/true);
 }
 
 StatusOr<uint32_t> PositionalTree::GetAux(PageId root) {

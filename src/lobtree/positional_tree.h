@@ -99,6 +99,12 @@ class PositionalTree {
   [[nodiscard]] Status VisitLeaves(PageId root,
                      const std::function<Status(const LeafInfo&)>& fn);
 
+  /// Calls `fn` for every index page the tree owns (the root and every
+  /// internal node), parents before children. Used by the consistency
+  /// checker (src/check) to claim the tree's meta-area extents.
+  [[nodiscard]] Status VisitIndexPages(PageId root,
+                         const std::function<Status(PageId)>& fn);
+
   /// Root auxiliary word (EOS: allocated pages of the last segment).
   [[nodiscard]] StatusOr<uint32_t> GetAux(PageId root);
   [[nodiscard]] Status SetAux(PageId root, uint32_t value);

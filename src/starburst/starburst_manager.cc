@@ -42,14 +42,16 @@ uint32_t StarburstManager::PatternPages(uint32_t first_pages,
 
 StatusOr<ObjectId> StarburstManager::Create() {
   OpScope obs_scope(sys_->disk(), "starburst.create");
-  auto seg = sys_->meta_area()->Allocate(1);
-  if (!seg.ok()) return seg.status();
-  auto g = sys_->pool()->FixPage(sys_->meta_area()->id(), seg->first_page,
+  auto ext =
+      ScopedExtent::Allocate(sys_->meta_area(), sys_->pool(), 1);
+  if (!ext.ok()) return ext.status();
+  auto g = sys_->pool()->FixPage(sys_->meta_area()->id(), ext->first_page(),
                                  FixMode::kNew);
-  if (!g.ok()) return g.status();
+  if (!g.ok()) return g.status();  // guard reclaims the descriptor page
   StoreU32(g->data(), kDescriptorMagic);
   g->MarkDirty();
-  return seg->first_page;
+  ext->Commit();
+  return ext->first_page();
 }
 
 StatusOr<StarburstManager::Descriptor> StarburstManager::Load(ObjectId id) {
@@ -168,7 +170,9 @@ Status StarburstManager::Read(ObjectId id, uint64_t offset, uint64_t n,
 }
 
 Status StarburstManager::AppendLocked(ObjectId id, Descriptor* d,
-                                      std::string_view data, OpContext* ctx) {
+                                      std::string_view data, OpContext* ctx,
+                                      std::vector<ScopedExtent>* fresh,
+                                      std::vector<Segment>* to_free) {
   (void)id;
   uint64_t pos = 0;
   const uint64_t P = page_size();
@@ -201,7 +205,9 @@ Status StarburstManager::AppendLocked(ObjectId id, Descriptor* d,
 
   // 3. A trimmed last segment that overflowed is rebuilt to pattern size
   //    together with the remaining data (keeps intermediate sizes
-  //    implicit).
+  //    implicit). The old last segment is only *queued* for freeing: if
+  //    the rebuild fails part-way the on-disk descriptor still references
+  //    it, so releasing it here would be corruption, not cleanup.
   if (!d->ptrs.empty()) {
     const uint32_t last_idx = static_cast<uint32_t>(d->ptrs.size() - 1);
     if (d->last_alloc_pages != PatternPages(d->first_pages, last_idx)) {
@@ -211,31 +217,31 @@ Status StarburstManager::AppendLocked(ObjectId id, Descriptor* d,
       LOB_RETURN_IF_ERROR(ReadRange(map, last.start, last.bytes,
                                     tail.data()));
       tail.append(data.substr(pos));
-      LOB_RETURN_IF_ERROR(sys_->leaf_area()->Free(last.page, last.alloc));
-      LOB_RETURN_IF_ERROR(
-          sys_->pool()->Invalidate(leaf_area_id(), last.page, last.alloc));
+      to_free->push_back(Segment{last.page, last.alloc});
       d->ptrs.pop_back();
       d->used_bytes -= static_cast<uint32_t>(last.bytes);
-      return RebuildTail(d, d->ptrs.size(), tail, ctx);
+      return RebuildTail(d, d->ptrs.size(), tail, ctx, fresh);
     }
   }
 
   // 4. Allocate pattern-sized successors until the data is stored. The
   //    last segment keeps its full pattern allocation and is filled by
   //    subsequent appends; trimming happens when updates reorganize it.
+  //    Each segment stays armed until the caller saves the descriptor.
   while (pos < data.size()) {
     const uint32_t idx = static_cast<uint32_t>(d->ptrs.size());
     const uint32_t pattern = PatternPages(d->first_pages, idx);
     if (pattern == 0) return Status::Internal("empty growth pattern");
     const uint64_t rem = data.size() - pos;
     const uint32_t pages = pattern;
-    auto seg = sys_->leaf_area()->Allocate(pages);
+    auto seg = ScopedExtent::Allocate(sys_->leaf_area(), sys_->pool(), pages);
     if (!seg.ok()) return seg.status();
     const uint64_t take = std::min<uint64_t>(
         static_cast<uint64_t>(pages) * P, rem);
     LOB_RETURN_IF_ERROR(sys_->pool()->WriteFreshSegment(
-        leaf_area_id(), seg->first_page, data.data() + pos, take));
-    d->ptrs.push_back(seg->first_page);
+        leaf_area_id(), seg->first_page(), data.data() + pos, take));
+    d->ptrs.push_back(seg->first_page());
+    fresh->push_back(std::move(*seg));
     d->last_alloc_pages = pages;
     d->used_bytes += static_cast<uint32_t>(take);
     pos += take;
@@ -249,13 +255,20 @@ Status StarburstManager::Append(ObjectId id, std::string_view data) {
   auto d = Load(id);
   if (!d.ok()) return d.status();
   OpContext ctx(sys_->pool());
-  LOB_RETURN_IF_ERROR(AppendLocked(id, &d.value(), data, &ctx));
+  std::vector<ScopedExtent> fresh;
+  std::vector<Segment> to_free;
+  LOB_RETURN_IF_ERROR(AppendLocked(id, &d.value(), data, &ctx, &fresh,
+                                   &to_free));
+  // Save() is the commit point: once the descriptor references the new
+  // segments the guards disarm and the replaced ones are released.
   LOB_RETURN_IF_ERROR(Save(id, *d));
+  LOB_RETURN_IF_ERROR(CommitAndFree(&fresh, to_free));
   return ctx.Finish();
 }
 
 Status StarburstManager::RebuildTail(Descriptor* d, size_t k,
-                                     std::string_view tail, OpContext* ctx) {
+                                     std::string_view tail, OpContext* ctx,
+                                     std::vector<ScopedExtent>* fresh) {
   LOB_TRACE_SPAN(sys_->disk(), "sb.rebuild_tail");
   const uint64_t P = page_size();
   LOB_CHECK_LE(k, d->ptrs.size());
@@ -291,7 +304,7 @@ Status StarburstManager::RebuildTail(Descriptor* d, size_t k,
     const uint64_t rem = tail.size() - pos;
     const uint32_t pages = static_cast<uint32_t>(
         std::min<uint64_t>(pattern, CeilDiv(rem, P)));
-    auto seg = sys_->leaf_area()->Allocate(pages);
+    auto seg = ScopedExtent::Allocate(sys_->leaf_area(), sys_->pool(), pages);
     if (!seg.ok()) return seg.status();
     const uint64_t take =
         std::min<uint64_t>(static_cast<uint64_t>(pages) * P, rem);
@@ -302,15 +315,30 @@ Status StarburstManager::RebuildTail(Descriptor* d, size_t k,
       const uint64_t chunk =
           std::min<uint64_t>(take - part, sys_->config().copy_buffer_bytes);
       LOB_RETURN_IF_ERROR(sys_->pool()->WriteFreshSegment(
-          leaf_area_id(), seg->first_page + static_cast<PageId>(part / P),
+          leaf_area_id(), seg->first_page() + static_cast<PageId>(part / P),
           tail.data() + pos + part, chunk));
       part += chunk;
     }
     (void)ctx;
-    d->ptrs.push_back(seg->first_page);
+    d->ptrs.push_back(seg->first_page());
+    fresh->push_back(std::move(*seg));
     d->last_alloc_pages = pages;
     d->used_bytes += static_cast<uint32_t>(take);
     pos += take;
+  }
+  return Status::OK();
+}
+
+Status StarburstManager::CommitAndFree(std::vector<ScopedExtent>* fresh,
+                                       const std::vector<Segment>& to_free) {
+  for (ScopedExtent& ext : *fresh) ext.Commit();
+  fresh->clear();
+  for (const Segment& seg : to_free) {
+    // Invalidate before Free so a reuse of the pages cannot observe stale
+    // cached content or pay for a stale flush.
+    LOB_RETURN_IF_ERROR(
+        sys_->pool()->Invalidate(leaf_area_id(), seg.first_page, seg.pages));
+    LOB_RETURN_IF_ERROR(sys_->leaf_area()->Free(seg));
   }
   return Status::OK();
 }
@@ -352,14 +380,17 @@ Status StarburstManager::SpliceBytes(ObjectId id, uint64_t offset,
     LOB_RETURN_IF_ERROR(ReadRange(map, offset + deleted,
                                   size - offset - deleted, &tail[at]));
   }
-  // Free the old tail segments, then write the new ones.
+  // Build the new tail first; the old segments stay allocated (and
+  // referenced by the on-disk descriptor) until Save() commits, so a fault
+  // anywhere in the rebuild leaves the object readable and fsck-clean.
+  std::vector<ScopedExtent> fresh;
+  std::vector<Segment> to_free;
   for (size_t i = k; i < map.size(); ++i) {
-    LOB_RETURN_IF_ERROR(sys_->leaf_area()->Free(map[i].page, map[i].alloc));
-    LOB_RETURN_IF_ERROR(
-        sys_->pool()->Invalidate(leaf_area_id(), map[i].page, map[i].alloc));
+    to_free.push_back(Segment{map[i].page, map[i].alloc});
   }
-  LOB_RETURN_IF_ERROR(RebuildTail(&d.value(), k, tail, &ctx));
+  LOB_RETURN_IF_ERROR(RebuildTail(&d.value(), k, tail, &ctx, &fresh));
   LOB_RETURN_IF_ERROR(Save(id, *d));
+  LOB_RETURN_IF_ERROR(CommitAndFree(&fresh, to_free));
   return ctx.Finish();
 }
 
@@ -393,6 +424,8 @@ Status StarburstManager::Replace(ObjectId id, uint64_t offset,
   }
   OpContext ctx(sys_->pool());
   auto map = MapSegments(*d);
+  std::vector<ScopedExtent> fresh;
+  std::vector<Segment> to_free;
   uint64_t done = 0;
   for (size_t i = 0; i < map.size() && done < data.size(); ++i) {
     SegInfo& seg = map[i];
@@ -402,12 +435,16 @@ Status StarburstManager::Replace(ObjectId id, uint64_t offset,
     const uint64_t take = std::min(seg.bytes - local, data.size() - done);
     if (sys_->config().shadowing) {
       // Shadow the whole segment (paper 3.3): copy to a new segment with
-      // the replaced bytes applied.
+      // the replaced bytes applied. The shadow stays armed and the old
+      // segment stays live until the descriptor commits below — a fault
+      // while shadowing a later segment must leave every earlier old
+      // segment intact, since the on-disk descriptor still points there.
       std::string content(seg.bytes, '\0');
       LOB_RETURN_IF_ERROR(sys_->pool()->ReadSegmentRange(
           leaf_area_id(), seg.page, seg.bytes, 0, seg.bytes, content.data()));
       content.replace(local, take, data.substr(done, take));
-      auto ns = sys_->leaf_area()->Allocate(seg.alloc);
+      auto ns =
+          ScopedExtent::Allocate(sys_->leaf_area(), sys_->pool(), seg.alloc);
       if (!ns.ok()) return ns.status();
       const uint64_t P2 = page_size();
       uint64_t part = 0;
@@ -415,15 +452,14 @@ Status StarburstManager::Replace(ObjectId id, uint64_t offset,
         const uint64_t chunk = std::min<uint64_t>(
             content.size() - part, sys_->config().copy_buffer_bytes);
         LOB_RETURN_IF_ERROR(sys_->pool()->WriteFreshSegment(
-            leaf_area_id(), ns->first_page + static_cast<PageId>(part / P2),
+            leaf_area_id(), ns->first_page() + static_cast<PageId>(part / P2),
             content.data() + part, chunk));
         part += chunk;
       }
-      LOB_RETURN_IF_ERROR(sys_->leaf_area()->Free(seg.page, seg.alloc));
-      LOB_RETURN_IF_ERROR(
-          sys_->pool()->Invalidate(leaf_area_id(), seg.page, seg.alloc));
-      d->ptrs[i] = ns->first_page;
-      seg.page = ns->first_page;
+      to_free.push_back(Segment{seg.page, seg.alloc});
+      d->ptrs[i] = ns->first_page();
+      seg.page = ns->first_page();
+      fresh.push_back(std::move(*ns));
     } else {
       LOB_RETURN_IF_ERROR(sys_->pool()->WriteSegmentRange(
           leaf_area_id(), seg.page, seg.bytes, local, take,
@@ -436,6 +472,7 @@ Status StarburstManager::Replace(ObjectId id, uint64_t offset,
     done += take;
   }
   LOB_RETURN_IF_ERROR(Save(id, *d));
+  LOB_RETURN_IF_ERROR(CommitAndFree(&fresh, to_free));
   return ctx.Finish();
 }
 
@@ -469,10 +506,15 @@ Status StarburstManager::TrimLast(ObjectId id) {
   const uint32_t needed =
       static_cast<uint32_t>(CeilDiv(last.bytes, page_size()));
   if (needed < last.alloc) {
-    LOB_RETURN_IF_ERROR(sys_->leaf_area()->Free(last.page + needed,
-                                                last.alloc - needed));
+    // Commit the shrunken allocation in the descriptor first: if the
+    // trimmed pages were freed before the descriptor said so, a fault in
+    // Save would leave the descriptor claiming pages the allocator has
+    // already handed back (double-allocation hazard). Free itself is
+    // infallible under I/O faults, so this order cannot leak.
     d->last_alloc_pages = needed;
     LOB_RETURN_IF_ERROR(Save(id, *d));
+    LOB_RETURN_IF_ERROR(sys_->leaf_area()->Free(last.page + needed,
+                                                last.alloc - needed));
   }
   return Status::OK();
 }
@@ -495,6 +537,17 @@ Status StarburstManager::VisitSegments(
   if (!d.ok()) return d.status();
   for (const SegInfo& seg : MapSegments(*d)) {
     LOB_RETURN_IF_ERROR(fn(seg.bytes, seg.alloc));
+  }
+  return Status::OK();
+}
+
+Status StarburstManager::VisitOwnedExtents(
+    ObjectId id, const std::function<Status(const OwnedExtent&)>& fn) {
+  auto d = Load(id);
+  if (!d.ok()) return d.status();
+  LOB_RETURN_IF_ERROR(fn({sys_->meta_area()->id(), id, 1}));
+  for (const SegInfo& seg : MapSegments(*d)) {
+    LOB_RETURN_IF_ERROR(fn({leaf_area_id(), seg.page, seg.alloc}));
   }
   return Status::OK();
 }

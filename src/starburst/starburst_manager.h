@@ -22,6 +22,7 @@
 
 #include <vector>
 
+#include "buddy/scoped_extent.h"
 #include "core/large_object.h"
 #include "core/storage_system.h"
 
@@ -69,6 +70,9 @@ class StarburstManager : public LargeObjectManager {
   [[nodiscard]] Status VisitSegments(
       ObjectId id,
       const std::function<Status(uint64_t, uint32_t)>& fn) override;
+  [[nodiscard]] Status VisitOwnedExtents(
+      ObjectId id,
+      const std::function<Status(const OwnedExtent&)>& fn) override;
   [[nodiscard]] Status Trim(ObjectId id) override { return TrimLast(id); }
   Engine engine() const override { return Engine::kStarburst; }
 
@@ -116,17 +120,33 @@ class StarburstManager : public LargeObjectManager {
                    char* dst);
 
   /// Appends `data`, filling the last segment then allocating
-  /// pattern-sized successors.
+  /// pattern-sized successors. Freshly allocated segments are handed back
+  /// armed in `fresh`; segments the new descriptor no longer references
+  /// are appended to `to_free`. The caller must Save() the descriptor (the
+  /// single durable commit point), then CommitAndFree(); until then an
+  /// error path rolls the guards back and the on-disk object is untouched.
   [[nodiscard]]
   Status AppendLocked(ObjectId id, Descriptor* d, std::string_view data,
-                      OpContext* ctx);
+                      OpContext* ctx, std::vector<ScopedExtent>* fresh,
+                      std::vector<Segment>* to_free);
 
   /// Replaces segments [k, end) with segments holding `tail` (already in
   /// memory), following the pattern sizes for positions k, k+1, ...;
-  /// writes go through copy-buffer-sized chunks.
+  /// writes go through copy-buffer-sized chunks. Same guard protocol as
+  /// AppendLocked: new segments stay armed in `fresh` until the caller
+  /// saves the descriptor. The *caller* queues the replaced segments for
+  /// freeing — this function only builds.
   [[nodiscard]]
   Status RebuildTail(Descriptor* d, size_t k, std::string_view tail,
-                     OpContext* ctx);
+                     OpContext* ctx, std::vector<ScopedExtent>* fresh);
+
+  /// After a successful Save(): disarms every guard in `fresh` and frees
+  /// the replaced segments in `to_free` (dropping their cached pages).
+  /// Free is infallible under I/O faults, so this cannot strand the
+  /// now-committed descriptor.
+  [[nodiscard]]
+  Status CommitAndFree(std::vector<ScopedExtent>* fresh,
+                       const std::vector<Segment>& to_free);
 
   /// Shared implementation of Insert/Delete: splice the byte stream.
   [[nodiscard]]

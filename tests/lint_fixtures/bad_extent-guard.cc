@@ -1,0 +1,18 @@
+// LOBLINT-FIXTURE-PATH: src/esm/bad_extent.cc
+//
+// Raw DatabaseArea allocation in engine code: if WritePages (or any later
+// step) fails, nothing frees the segment -- the exact leak class the
+// fault-injection campaign classifies as a `leak` cell.
+
+#include "buddy/database_area.h"
+
+namespace lob {
+
+Status GrowLeaf(DatabaseArea* leaf_area) {
+  auto seg = leaf_area->Allocate(4);  // BAD: unguarded extent
+  if (!seg.ok()) return seg.status();
+  // ... a fallible write here would leak `seg` on its error path ...
+  return Status::OK();
+}
+
+}  // namespace lob

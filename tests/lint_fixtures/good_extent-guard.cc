@@ -1,0 +1,26 @@
+// LOBLINT-FIXTURE-PATH: src/esm/good_extent.cc
+//
+// The guarded forms: ScopedExtent rolls the allocation back on every error
+// path until Commit(), and a justified suppression covers the rare site
+// that manages its own rollback.
+
+#include "buddy/scoped_extent.h"
+
+namespace lob {
+
+Status GrowLeaf(DatabaseArea* leaf_area, BufferPool* pool) {
+  auto seg = ScopedExtent::Allocate(leaf_area, pool, 4);
+  if (!seg.ok()) return seg.status();
+  // ... fallible writes; an early return rolls the extent back ...
+  seg->Commit();
+  return Status::OK();
+}
+
+Status GrowLeafManualRollback(DatabaseArea* leaf_area) {
+  // LOBLINT(extent-guard): freed on every path below via FreeOnError
+  auto seg = leaf_area->Allocate(4);
+  if (!seg.ok()) return seg.status();
+  return Status::OK();
+}
+
+}  // namespace lob

@@ -164,6 +164,43 @@ TEST_P(ObjectStreamTest, WriterRecordsFailureFromWriteTriggeredAppend) {
   sys_.disk()->InjectFailureAfter(-1);
 }
 
+TEST_P(ObjectStreamTest, WriterDoubleFaultPreservesFirstError) {
+  // Two distinct one-shot faults across two failing flushes: last_status
+  // must keep the *first* error (the root cause), and the writer must
+  // stay usable — the staged bytes land once the faults clear.
+  ObjectWriter writer(mgr_.get(), id_, /*chunk_bytes=*/64 * 1024);
+  const std::string piece = Pattern(8, 5000);
+  ASSERT_TRUE(writer.Write(piece).ok());
+
+  FaultSpec first;
+  first.kind = FaultKind::kOneShot;
+  first.after_calls = 0;  // countdowns are relative to arming
+  first.message = "double-fault-one";
+  sys_.disk()->ArmFault(first);
+  EXPECT_FALSE(writer.Flush().ok());
+
+  FaultSpec second = first;
+  second.message = "double-fault-two";
+  sys_.disk()->ArmFault(second);
+  Status retry = writer.Flush();
+  EXPECT_FALSE(retry.ok());
+  EXPECT_NE(retry.message().find("double-fault-two"), std::string::npos)
+      << "the retry's own failure is the one returned: " << retry.ToString();
+  EXPECT_NE(writer.last_status().message().find("double-fault-one"),
+            std::string::npos)
+      << "last_status must keep the first fault, got: "
+      << writer.last_status().ToString();
+  sys_.disk()->ClearFaults();
+
+  ASSERT_TRUE(writer.Flush().ok());
+  std::string got;
+  ASSERT_TRUE(mgr_->Read(id_, 0, piece.size(), &got).ok());
+  EXPECT_EQ(got, piece);
+  EXPECT_NE(writer.last_status().message().find("double-fault-one"),
+            std::string::npos)
+      << "success does not clear the sticky first error";
+}
+
 std::string EngineName3(const ::testing::TestParamInfo<int>& param_info) {
   return param_info.param == 0   ? "Esm"
          : param_info.param == 1 ? "Starburst"

@@ -141,6 +141,44 @@ TEST_F(OpContextTest, FinishAttemptsRemainingRangesAfterFailure) {
       << "the second range still flushed after the first failed";
 }
 
+TEST_F(OpContextTest, DoubleFaultPreservesFirstErrorAndClearsState) {
+  // Two distinct injected faults during one Finish: the *first* error's
+  // Status must be the one returned (later failures must not overwrite
+  // it) and the context must still come out cleared.
+  OpContext ctx(&pool_);
+  StageDirty(0, 'a');
+  StageDirty(5, 'b');
+  StageDirty(9, 'c');
+  ctx.DeferFlush(area_, 0, 1);
+  ctx.DeferFlush(area_, 5, 1);
+  ctx.DeferFlush(area_, 9, 1);
+
+  FaultSpec first;
+  first.after_calls = 0;
+  first.message = "fault-one";
+  disk_.ArmFault(first);
+  FaultSpec second;
+  second.after_calls = 0;  // fires on the next call after `first` fired
+  second.message = "fault-two";
+  disk_.ArmFault(second);
+
+  Status s = ctx.Finish();
+  disk_.ClearFaults();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "fault-one")
+      << "the first fault's Status must be preserved, got: " << s.ToString();
+  EXPECT_FALSE(ctx.has_pending())
+      << "a doubly-failed Finish must still clear the context";
+  // Third range still flushed (best-effort past both faults).
+  EXPECT_EQ(disk_.stats().write_calls, 1u);
+
+  // The context stays usable: the next op flushes only its own range.
+  StageDirty(20, 'd');
+  ctx.DeferFlush(area_, 20, 1);
+  ASSERT_TRUE(ctx.Finish().ok());
+  EXPECT_EQ(disk_.stats().write_calls, 2u);
+}
+
 TEST_F(OpContextTest, AbortDropsPendingWorkWithoutWriting) {
   OpContext ctx(&pool_);
   StageDirty(11, 'z');

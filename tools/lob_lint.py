@@ -46,6 +46,14 @@ break them. Rules (stable IDs, see RULES below):
                           comment on the same or the preceding line; Status
                           is [[nodiscard]] precisely so silent drops are
                           impossible.
+  LOB007 extent-guard     Engine/core code must not call DatabaseArea
+                          Allocate directly: a raw allocation followed by a
+                          fallible step leaks the extent on the error path
+                          (the exact bug class the fault-injection campaign
+                          hunts). Acquire extents through ScopedExtent --
+                          rollback on error, Commit() after the durable
+                          install. Allocator internals (src/buddy) and code
+                          outside the engines are exempt.
 
 Suppressions
 ------------
@@ -77,6 +85,7 @@ RULES = {
     "attribution": "LOB004",
     "header-hygiene": "LOB005",
     "ignore-status": "LOB006",
+    "extent-guard": "LOB007",
 }
 
 # ----------------------------------------------------------------- scoping
@@ -105,6 +114,12 @@ ATTRIBUTION_ALLOW = (
     "src/buffer/buffer_pool.cc",
 )
 ATTRIBUTION_SCOPE_PREFIXES = ("src/",)
+
+# Extent-guard scope: the engines and the core layer, where every allocated
+# extent must survive an error on any later step. The buddy allocator itself
+# (including ScopedExtent) is the mediator and exempt.
+EXTENT_GUARD_SCOPE_PREFIXES = (
+    "src/esm/", "src/starburst/", "src/eos/", "src/lobtree/", "src/core/")
 
 SCAN_DIRS = ("src", "bench", "tools", "examples", "tests")
 SCAN_EXTS = (".h", ".cc", ".cpp")
@@ -443,6 +458,24 @@ def check_header_hygiene(path, code, findings):
             "#pragma once)"))
 
 
+RAW_ALLOCATE_RE = re.compile(r"(?:->|\.)\s*Allocate\s*\(")
+
+
+def check_extent_guard(path, code, findings):
+    if not path.startswith(EXTENT_GUARD_SCOPE_PREFIXES):
+        return
+    for idx, line in enumerate(code, start=1):
+        if not RAW_ALLOCATE_RE.search(line):
+            continue
+        if "ScopedExtent" in line:
+            continue  # the guarded form
+        findings.append(Finding(
+            path, idx, "extent-guard",
+            "raw DatabaseArea Allocate in engine/core code; a fault on any "
+            "later step leaks the extent -- acquire it through "
+            "ScopedExtent::Allocate and Commit() after the durable install"))
+
+
 IGNORE_STATUS_RE = re.compile(r"\bLOB_IGNORE_STATUS\s*\(")
 
 
@@ -487,6 +520,7 @@ def lint_text(path, text):
     check_attribution(effective, code, findings)
     check_header_hygiene(effective, code, findings)
     check_ignore_status(effective, code, comments, findings)
+    check_extent_guard(effective, code, findings)
 
     # Apply suppressions.
     file_suppressed = set()

@@ -10,6 +10,12 @@
 //   lobtool <db.img> rm <name>
 //   lobtool <db.img> stat <name>
 //   lobtool <db.img> info
+//   lobtool <db.img> fsck [param]
+//       cross-engine consistency check: per-object structural invariants,
+//       extent cross-referencing against the buddy allocator (leaks,
+//       double allocations, dangling references) and byte accounting.
+//       `param` is the structural parameter for ESM/EOS objects (leaf
+//       pages / threshold; default 4). Exit 1 when issues are found.
 //   lobtool <db.img> stats [name] [table|json|csv]
 //       per-operation I/O attribution ledger for this invocation. With a
 //       name, the object is first scanned sequentially through its engine
@@ -34,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "check/fsck.h"
 #include "core/database.h"
 #include "core/factory.h"
 #include "trace/trace_session.h"
@@ -52,7 +59,8 @@ int Fail(const Status& s) {
 int Usage() {
   std::fprintf(stderr,
                "usage: lobtool <db.img> "
-               "init|create|put|cat|insert|delete|ls|rm|stat|info|stats ...\n"
+               "init|create|put|cat|insert|delete|ls|rm|stat|info|stats"
+               "|fsck ...\n"
                "       lobtool trace <op-script> [esm|starburst|eos] "
                "[param] [--json=FILE]\n");
   return 2;
@@ -334,6 +342,16 @@ int Run(int argc, char** argv) {
     std::printf("conservation: %s\n",
                 obs->ConservationHolds(sys->stats()) ? "OK" : "VIOLATED");
     return 0;
+  }
+
+  if (cmd == "fsck") {
+    const uint32_t param =
+        argc > 3 ? static_cast<uint32_t>(std::strtoul(argv[3], nullptr, 10))
+                 : 4;
+    auto report = FsckDatabase(db->get(), param);
+    if (!report.ok()) return Fail(report.status());
+    std::fputs(report->ToString().c_str(), stdout);
+    return report->clean() ? 0 : 1;
   }
 
   if (cmd == "info") {

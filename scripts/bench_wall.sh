@@ -85,6 +85,17 @@ done
 suite_speedup=$(awk -v a="$total_j1" -v b="$total_jn" \
   'BEGIN { printf "%.2f", (b > 0 ? a / b : 0) }')
 
+# Single-thread cell throughput (cells/sec, modeled pages/sec): the
+# machine-checkable number behind the perf trajectory, emitted under
+# "metrics" in BENCH_micro_substrates.json and compared against
+# results/BENCH_micro_baseline.json by scripts/check_perf.py (CI
+# perf-smoke gate).
+build/bench/micro_substrates --cells=6 \
+  --bench-json=results/BENCH_micro_substrates.json
+cells_per_sec=$(python3 -c "import json; \
+print(json.load(open('results/BENCH_micro_substrates.json'))['metrics']['cells_per_sec'])")
+micro_profile=$(cat results/BENCH_micro_substrates.json)
+
 {
   printf '{\n'
   printf '  "suite": "lobstore reproduction benches",\n'
@@ -95,10 +106,12 @@ suite_speedup=$(awk -v a="$total_j1" -v b="$total_jn" \
   printf '  "wall_ms_jobs1_total": %s,\n' "$total_j1"
   printf '  "wall_ms_jobsN_total": %s,\n' "$total_jn"
   printf '  "suite_speedup": %s,\n' "$suite_speedup"
+  printf '  "cells_per_sec": %s,\n' "$cells_per_sec"
+  printf '  "micro_substrates": %s,\n' "$micro_profile"
   printf '  "benches": [\n%s\n  ]\n' "$bench_entries"
   printf '}\n'
 } > BENCH_suite.json
 
 echo
 echo "suite: jobs=1 ${total_j1} ms, jobs=$JOBS ${total_jn} ms" \
-     "(${suite_speedup}x) -> BENCH_suite.json"
+     "(${suite_speedup}x), ${cells_per_sec} cells/sec -> BENCH_suite.json"

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate: single-thread cell throughput vs the baseline.
+
+Compares the fresh ``metrics.cells_per_sec`` in
+``results/BENCH_micro_substrates.json`` (written by
+``scripts/bench_wall.sh``, or directly by
+``micro_substrates --cells=N --bench-json=...``) against the committed
+baseline ``results/BENCH_micro_baseline.json`` and fails when throughput
+regressed by more than the tolerance (default 20%).
+
+The baseline is a wall-clock number, so it only means something on
+comparable hardware. Refresh it deliberately (copy the fresh profile
+over the baseline file in the same PR that changes performance) rather
+than letting it drift; the committed file records hardware_concurrency
+and the LOB_BENCH_HOST_NOTE of the machine that produced it.
+
+Usage: scripts/check_perf.py [--fresh PATH] [--baseline PATH]
+                             [--tolerance FRACTION]
+Exit codes: 0 ok, 1 regression, 2 missing/invalid inputs.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cells_per_sec(path):
+    try:
+        with open(path) as f:
+            profile = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_perf: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    try:
+        return float(profile["metrics"]["cells_per_sec"]), profile
+    except (KeyError, TypeError):
+        print(f"check_perf: {path} has no metrics.cells_per_sec",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--fresh",
+                        default="results/BENCH_micro_substrates.json")
+    parser.add_argument("--baseline",
+                        default="results/BENCH_micro_baseline.json")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    args = parser.parse_args()
+
+    fresh, fresh_profile = load_cells_per_sec(args.fresh)
+    base, base_profile = load_cells_per_sec(args.baseline)
+    if base <= 0:
+        print("check_perf: baseline cells_per_sec is not positive",
+              file=sys.stderr)
+        sys.exit(2)
+
+    floor = base * (1.0 - args.tolerance)
+    ratio = fresh / base
+    host = base_profile.get("host_note", "")
+    print(f"cell throughput: fresh {fresh:.2f} cells/sec vs baseline "
+          f"{base:.2f} ({ratio:.2f}x, floor {floor:.2f})"
+          + (f" [baseline host: {host}]" if host else ""))
+    if fresh < floor:
+        print(f"check_perf: FAIL: regressed more than "
+              f"{args.tolerance:.0%} vs committed baseline", file=sys.stderr)
+        sys.exit(1)
+    print("check_perf: OK")
+
+
+if __name__ == "__main__":
+    main()

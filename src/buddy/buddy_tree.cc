@@ -12,10 +12,14 @@ BuddyTree::BuddyTree(uint32_t order)
     : order_(order),
       n_blocks_(1u << order),
       free_blocks_(1u << order),
-      longest_(size_t{2} << order, 0) {
+      longest_(size_t{2} << order, 0),
+      bitmap_((size_t{1u << order} + 7) / 8, 0) {
   LOB_CHECK_GE(order, 1u);
   LOB_CHECK_LE(order, 24u);
-  for (uint32_t b = 0; b < n_blocks_; ++b) longest_[n_blocks_ + b] = 1;
+  for (uint32_t b = 0; b < n_blocks_; ++b) {
+    longest_[n_blocks_ + b] = 1;
+    bitmap_[b / 8] = static_cast<char>(bitmap_[b / 8] | (1 << (b % 8)));
+  }
   RebuildAll();
 }
 
@@ -90,6 +94,11 @@ void BuddyTree::SetRange(uint32_t lo, uint32_t hi, bool free) {
     uint32_t& leaf = longest_[n_blocks_ + b];
     LOB_CHECK(free ? leaf == 0 : leaf == 1);
     leaf = free ? 1 : 0;
+    if (free) {
+      bitmap_[b / 8] = static_cast<char>(bitmap_[b / 8] | (1 << (b % 8)));
+    } else {
+      bitmap_[b / 8] = static_cast<char>(bitmap_[b / 8] & ~(1 << (b % 8)));
+    }
   }
   free_blocks_ += free ? (hi - lo) : 0;
   free_blocks_ -= free ? 0 : (hi - lo);
@@ -143,12 +152,7 @@ void BuddyTree::AccumulateFreeChunks(
 }
 
 void BuddyTree::SerializeBitmap(char* out) const {
-  std::memset(out, 0, BitmapBytes());
-  for (uint32_t b = 0; b < n_blocks_; ++b) {
-    if (IsFree(b)) {
-      out[b / 8] = static_cast<char>(out[b / 8] | (1 << (b % 8)));
-    }
-  }
+  std::memcpy(out, bitmap_.data(), BitmapBytes());
 }
 
 BuddyTree BuddyTree::FromBitmap(uint32_t order, const char* bitmap) {
@@ -158,6 +162,13 @@ BuddyTree BuddyTree::FromBitmap(uint32_t order, const char* bitmap) {
     const bool free = (bitmap[b / 8] >> (b % 8)) & 1;
     tree.longest_[tree.n_blocks_ + b] = free ? 1 : 0;
     free_count += free ? 1 : 0;
+    if (free) {
+      tree.bitmap_[b / 8] =
+          static_cast<char>(tree.bitmap_[b / 8] | (1 << (b % 8)));
+    } else {
+      tree.bitmap_[b / 8] =
+          static_cast<char>(tree.bitmap_[b / 8] & ~(1 << (b % 8)));
+    }
   }
   tree.free_blocks_ = free_count;
   tree.RebuildAll();
@@ -171,8 +182,13 @@ bool BuddyTree::CheckInvariants() const {
     expect[n_blocks_ + b] = longest_[n_blocks_ + b];
     if (expect[n_blocks_ + b] > 1) return false;
     free_count += expect[n_blocks_ + b];
+    const bool bit = (bitmap_[b / 8] >> (b % 8)) & 1;
+    if (bit != (longest_[n_blocks_ + b] == 1)) return false;
   }
   if (free_count != free_blocks_) return false;
+  for (uint32_t b = n_blocks_; b < bitmap_.size() * 8; ++b) {
+    if ((bitmap_[b / 8] >> (b % 8)) & 1) return false;  // stray high bit
+  }
   uint32_t node_size = 2;
   for (uint32_t i = n_blocks_ / 2;; i /= 2) {
     for (uint32_t j = i; j < 2 * i; ++j) {

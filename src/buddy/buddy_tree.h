@@ -59,6 +59,8 @@ class BuddyTree {
 
   /// Writes the free-block bitmap (1 bit per block, LSB-first within each
   /// byte, 1 = free) into `out`, which must hold BitmapBytes() bytes.
+  /// The bitmap is maintained incrementally alongside the leaves, so this
+  /// is a straight copy — cheap enough to call on every allocate/free.
   void SerializeBitmap(char* out) const;
 
   /// Rebuilds allocation state from a bitmap produced by SerializeBitmap.
@@ -82,6 +84,11 @@ class BuddyTree {
   // within the region covered by node i. Node 1 is the root; leaves are
   // nodes [n_blocks_, 2 * n_blocks_).
   std::vector<uint32_t> longest_;
+  // Free-block bitmap mirroring the leaves (1 = free, LSB-first within
+  // each byte; unused high bits of the last byte stay zero). Updated bit
+  // by bit in SetRange so SerializeBitmap is a memcpy rather than an
+  // O(n_blocks) rebuild on every allocate/free.
+  std::vector<char> bitmap_;
 };
 
 }  // namespace lob

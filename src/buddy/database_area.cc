@@ -36,7 +36,7 @@ void DatabaseArea::AddSpace() {
     needs_sync_[space] = true;
     return;
   }
-  spaces_[space]->SerializeBitmap(guard->data());
+  spaces_[space]->SerializeBitmap(guard->mutable_data());
   guard->MarkDirty();
 }
 
@@ -60,7 +60,7 @@ StatusOr<Segment> DatabaseArea::Allocate(uint32_t n_pages) {
       // Wrong superdirectory guess; the hint is now corrected.
       continue;
     }
-    spaces_[s]->SerializeBitmap(guard->data());
+    spaces_[s]->SerializeBitmap(guard->mutable_data());
     guard->MarkDirty();
     needs_sync_[s] = false;
     return Segment{DataBase(s) + *start_or, n_pages};
@@ -73,7 +73,7 @@ StatusOr<Segment> DatabaseArea::Allocate(uint32_t n_pages) {
   auto start_or = spaces_[s]->Allocate(n_pages);
   if (!start_or.ok()) return start_or.status();
   hints_[s] = spaces_[s]->LargestFree();
-  spaces_[s]->SerializeBitmap(guard->data());
+  spaces_[s]->SerializeBitmap(guard->mutable_data());
   guard->MarkDirty();
   needs_sync_[s] = false;
   return Segment{DataBase(s) + *start_or, n_pages};
@@ -109,7 +109,7 @@ Status DatabaseArea::Free(PageId first_page, uint32_t n_pages) {
     needs_sync_[space] = true;
     return Status::OK();
   }
-  spaces_[space]->SerializeBitmap(guard->data());
+  spaces_[space]->SerializeBitmap(guard->mutable_data());
   guard->MarkDirty();
   needs_sync_[space] = false;
   return Status::OK();
@@ -124,7 +124,7 @@ Status DatabaseArea::SyncDirectories() {
       if (first.ok()) first = guard.status();
       continue;
     }
-    spaces_[s]->SerializeBitmap(guard->data());
+    spaces_[s]->SerializeBitmap(guard->mutable_data());
     guard->MarkDirty();
     needs_sync_[s] = false;
   }

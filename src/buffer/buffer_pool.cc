@@ -11,13 +11,12 @@ namespace lob {
 
 // ---------------------------------------------------------------- PageGuard
 
-PageGuard::PageGuard(BufferPool* pool, uint32_t slot, char* data)
-    : pool_(pool), slot_(slot), data_(data) {}
+PageGuard::PageGuard(BufferPool* pool, uint32_t slot)
+    : pool_(pool), slot_(slot) {}
 
 PageGuard::PageGuard(PageGuard&& other) noexcept
-    : pool_(other.pool_), slot_(other.slot_), data_(other.data_) {
+    : pool_(other.pool_), slot_(other.slot_) {
   other.pool_ = nullptr;
-  other.data_ = nullptr;
 }
 
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
@@ -25,17 +24,26 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
     Release();
     pool_ = other.pool_;
     slot_ = other.slot_;
-    data_ = other.data_;
     other.pool_ = nullptr;
-    other.data_ = nullptr;
   }
   return *this;
 }
 
 PageGuard::~PageGuard() { Release(); }
 
+const char* PageGuard::data() const {
+  LOB_CHECK(pool_ != nullptr);
+  return pool_->FrameData(slot_);
+}
+
+char* PageGuard::mutable_data() {
+  LOB_CHECK(pool_ != nullptr);
+  return pool_->MaterializeSlot(slot_);
+}
+
 void PageGuard::MarkDirty() {
   LOB_CHECK(pool_ != nullptr);
+  pool_->MaterializeSlot(slot_);
   pool_->frames_[slot_].dirty = true;
 }
 
@@ -43,7 +51,6 @@ void PageGuard::Release() {
   if (pool_ != nullptr) {
     pool_->Unpin(slot_);
     pool_ = nullptr;
-    data_ = nullptr;
   }
 }
 
@@ -59,8 +66,16 @@ BufferPool::BufferPool(SimDisk* disk, const StorageConfig& config)
 }
 
 int BufferPool::FindSlot(AreaId area, PageId page) const {
-  auto it = map_.find(Key(area, page));
-  return it == map_.end() ? -1 : static_cast<int>(it->second);
+  return map_.Find(Key(area, page));
+}
+
+char* BufferPool::MaterializeSlot(uint32_t slot) {
+  Frame& f = frames_[slot];
+  if (f.borrow != nullptr) {
+    std::memcpy(SlotData(slot), f.borrow, config_.page_size);
+    f.borrow = nullptr;
+  }
+  return SlotData(slot);
 }
 
 void BufferPool::Unpin(uint32_t slot) {
@@ -77,9 +92,10 @@ Status BufferPool::EvictSlot(uint32_t slot) {
     LOB_TRACE_SPAN(disk_, "pool.evict");
     LOB_RETURN_IF_ERROR(disk_->Write(f.area, f.page, 1, SlotData(slot)));
   }
-  map_.erase(Key(f.area, f.page));
+  map_.Erase(Key(f.area, f.page));
   f.valid = false;
   f.dirty = false;
+  f.borrow = nullptr;
   return Status::OK();
 }
 
@@ -126,18 +142,32 @@ StatusOr<PageGuard> BufferPool::FixPage(AreaId area, PageId page,
     f.pins++;
     f.lru = ++tick_;
     hits_++;
-    return PageGuard(this, slot, SlotData(slot));
+    return PageGuard(this, slot);
   }
   auto slot_or = GetFreeSlot();
   if (!slot_or.ok()) return slot_or.status();
   uint32_t slot = *slot_or;
   Frame& f = frames_[slot];
   if (mode == FixMode::kRead) {
-    LOB_TRACE_SPAN(disk_, "pool.miss");
-    LOB_RETURN_IF_ERROR(disk_->Read(area, page, 1, SlotData(slot)));
+    PageRef ref;
+    {
+      LOB_TRACE_SPAN(disk_, "pool.miss");
+      LOB_RETURN_IF_ERROR(disk_->ReadRun(area, page, 1, &ref));
+    }
+    if (ref.data != nullptr && config_.pool_zero_copy) {
+      f.borrow = ref.data;
+    } else if (ref.data != nullptr) {
+      std::memcpy(SlotData(slot), ref.data, config_.page_size);
+      f.borrow = nullptr;
+    } else {
+      // Never-written page: reads as zeros.
+      std::memset(SlotData(slot), 0, config_.page_size);
+      f.borrow = nullptr;
+    }
     misses_++;
   } else {
     std::memset(SlotData(slot), 0, config_.page_size);
+    f.borrow = nullptr;
   }
   f.area = area;
   f.page = page;
@@ -145,8 +175,8 @@ StatusOr<PageGuard> BufferPool::FixPage(AreaId area, PageId page,
   f.dirty = false;
   f.pins = 1;
   f.lru = ++tick_;
-  map_[Key(area, page)] = slot;
-  return PageGuard(this, slot, SlotData(slot));
+  map_.Insert(Key(area, page), slot);
+  return PageGuard(this, slot);
 }
 
 Status BufferPool::FlushAndDropRange(AreaId area, PageId first,
@@ -188,7 +218,9 @@ Status BufferPool::ReadSegmentRange(AreaId area, PageId seg_first,
     }
     if (!all_cached) {
       Status loaded = Status::NoSpace("");
-      // Find a window of np contiguous unpinned slots.
+      // Find a window of np contiguous unpinned slots. (Borrowed frames
+      // no longer need slot contiguity, but the window search — and so
+      // the eviction sequence — is kept identical to the copying pool.)
       for (uint32_t w = 0; w + np <= frames_.size(); ++w) {
         bool usable = true;
         for (uint32_t i = 0; i < np; ++i) {
@@ -202,20 +234,31 @@ Status BufferPool::ReadSegmentRange(AreaId area, PageId seg_first,
         for (uint32_t i = 0; i < np; ++i) {
           LOB_RETURN_IF_ERROR(EvictSlot(w + i));
         }
+        ScratchMark sm(&scratch_);
+        PageRef* refs = scratch_.AllocArray<PageRef>(np);
         {
           LOB_TRACE_SPAN(disk_, "pool.refetch");
-          LOB_RETURN_IF_ERROR(disk_->Read(area, p0, np, SlotData(w)));
+          LOB_RETURN_IF_ERROR(disk_->ReadRun(area, p0, np, refs));
         }
         misses_++;
         for (uint32_t i = 0; i < np; ++i) {
           Frame& f = frames_[w + i];
+          if (refs[i].data != nullptr && config_.pool_zero_copy) {
+            f.borrow = refs[i].data;
+          } else if (refs[i].data != nullptr) {
+            std::memcpy(SlotData(w + i), refs[i].data, config_.page_size);
+            f.borrow = nullptr;
+          } else {
+            std::memset(SlotData(w + i), 0, config_.page_size);
+            f.borrow = nullptr;
+          }
           f.area = area;
           f.page = p0 + i;
           f.valid = true;
           f.dirty = false;
           f.pins = 0;
           f.lru = ++tick_;
-          map_[Key(area, p0 + i)] = w + i;
+          map_.Insert(Key(area, p0 + i), w + i);
         }
         loaded = Status::OK();
         break;
@@ -250,7 +293,7 @@ Status BufferPool::ReadSegmentRange(AreaId area, PageId seg_first,
       const uint64_t lo = std::max(byte_off, page_begin);
       const uint64_t hi = std::min(byte_off + n_bytes, page_begin + P);
       std::memcpy(dst + (lo - byte_off),
-                  SlotData(static_cast<uint32_t>(s)) + (lo - page_begin),
+                  FrameData(static_cast<uint32_t>(s)) + (lo - page_begin),
                   hi - lo);
       copied += hi - lo;
     }
@@ -341,36 +384,56 @@ Status BufferPool::WriteSegmentRange(AreaId area, PageId seg_first,
       const uint64_t page_begin = static_cast<uint64_t>(p - seg_first) * P;
       const uint64_t lo = std::max(byte_off, page_begin);
       const uint64_t hi = std::min(byte_off + n_bytes, page_begin + P);
-      std::memcpy(g->data() + (lo - page_begin), src + (lo - byte_off),
-                  hi - lo);
+      std::memcpy(g->mutable_data() + (lo - page_begin),
+                  src + (lo - byte_off), hi - lo);
       g->MarkDirty();
     }
     return Status::OK();
   }
 
-  // Unbuffered: assemble the full run and write it with one I/O call.
-  // Boundary pages that keep valid bytes outside the write travel through
-  // the pool (3-step I/O, paper Figure 4); middle pages are fully covered.
-  std::vector<char> temp(static_cast<size_t>(np) * P, 0);
-  for (PageId p : {p0, p1}) {
-    if (!needs_read(p)) continue;
-    auto g = FixPage(area, p, FixMode::kRead);
-    if (!g.ok()) return g.status();
-    std::memcpy(temp.data() + static_cast<size_t>(p - p0) * P, g->data(), P);
+  // Unbuffered: gather-write the full run with one I/O call. Middle pages
+  // are fully covered by `src` and go straight from the caller's buffer;
+  // boundary pages that keep valid bytes outside the write travel through
+  // the pool (3-step I/O, paper Figure 4) into an arena staging page.
+  ScratchMark sm(&scratch_);
+  const char** srcs = scratch_.AllocArray<const char*>(np);
+  for (PageId p = p0; p <= p1; ++p) {
+    const uint64_t page_begin = static_cast<uint64_t>(p - seg_first) * P;
+    const uint32_t i = p - p0;
+    if (page_begin >= byte_off && page_begin + P <= byte_off + n_bytes) {
+      srcs[i] = src + (page_begin - byte_off);
+      continue;
+    }
+    char* stage = scratch_.Allocate(P);
+    if (needs_read(p)) {
+      auto g = FixPage(area, p, FixMode::kRead);
+      if (!g.ok()) return g.status();
+      std::memcpy(stage, g->data(), P);
+    } else {
+      std::memset(stage, 0, P);
+    }
+    const uint64_t lo = std::max(byte_off, page_begin);
+    const uint64_t hi = std::min(byte_off + n_bytes, page_begin + P);
+    std::memcpy(stage + (lo - page_begin), src + (lo - byte_off), hi - lo);
+    srcs[i] = stage;
   }
-  const uint64_t run_begin = static_cast<uint64_t>(p0 - seg_first) * P;
-  std::memcpy(temp.data() + (byte_off - run_begin), src, n_bytes);
+  MutPageRef* imgs = scratch_.AllocArray<MutPageRef>(np);
   {
     LOB_TRACE_SPAN(disk_, "pool.write_run");
-    LOB_RETURN_IF_ERROR(disk_->Write(area, p0, np, temp.data()));
+    LOB_RETURN_IF_ERROR(disk_->WriteRun(area, p0, np, srcs, imgs));
   }
-  // Refresh any cached copies so the pool stays coherent.
+  // Refresh any cached copies so the pool stays coherent: re-borrow the
+  // freshly written images instead of copying them back.
   for (PageId p = p0; p <= p1; ++p) {
     int s = FindSlot(area, p);
     if (s < 0) continue;
     Frame& f = frames_[static_cast<uint32_t>(s)];
-    std::memcpy(SlotData(static_cast<uint32_t>(s)),
-                temp.data() + static_cast<size_t>(p - p0) * P, P);
+    if (config_.pool_zero_copy) {
+      f.borrow = imgs[p - p0].data;
+    } else {
+      std::memcpy(SlotData(static_cast<uint32_t>(s)), imgs[p - p0].data, P);
+      f.borrow = nullptr;
+    }
     f.dirty = false;
   }
   return Status::OK();
@@ -381,18 +444,36 @@ Status BufferPool::WriteFreshSegment(AreaId area, PageId first,
   if (n_bytes == 0) return Status::OK();
   const uint64_t P = config_.page_size;
   const uint32_t np = static_cast<uint32_t>((n_bytes + P - 1) / P);
-  std::vector<char> temp(static_cast<size_t>(np) * P, 0);
-  std::memcpy(temp.data(), data, n_bytes);
+  // Full pages gather straight from the caller's buffer; only a partial
+  // last page is staged (zero-padded) in the arena.
+  ScratchMark sm(&scratch_);
+  const char** srcs = scratch_.AllocArray<const char*>(np);
+  const uint32_t full_pages = static_cast<uint32_t>(n_bytes / P);
+  for (uint32_t i = 0; i < full_pages; ++i) {
+    srcs[i] = data + static_cast<size_t>(i) * P;
+  }
+  if (full_pages < np) {
+    char* stage = scratch_.Allocate(P);
+    const uint64_t tail = n_bytes - static_cast<uint64_t>(full_pages) * P;
+    std::memcpy(stage, data + static_cast<size_t>(full_pages) * P, tail);
+    std::memset(stage + tail, 0, P - tail);
+    srcs[full_pages] = stage;
+  }
+  MutPageRef* imgs = scratch_.AllocArray<MutPageRef>(np);
   {
     LOB_TRACE_SPAN(disk_, "pool.write_fresh");
-    LOB_RETURN_IF_ERROR(disk_->Write(area, first, np, temp.data()));
+    LOB_RETURN_IF_ERROR(disk_->WriteRun(area, first, np, srcs, imgs));
   }
   for (uint32_t i = 0; i < np; ++i) {
     int s = FindSlot(area, first + i);
     if (s < 0) continue;
     Frame& f = frames_[static_cast<uint32_t>(s)];
-    std::memcpy(SlotData(static_cast<uint32_t>(s)),
-                temp.data() + static_cast<size_t>(i) * P, P);
+    if (config_.pool_zero_copy) {
+      f.borrow = imgs[i].data;
+    } else {
+      std::memcpy(SlotData(static_cast<uint32_t>(s)), imgs[i].data, P);
+      f.borrow = nullptr;
+    }
     f.dirty = false;
   }
   return Status::OK();
@@ -406,28 +487,31 @@ Status BufferPool::FlushRun(AreaId area, PageId first, uint32_t n_pages) {
       ++i;
       continue;
     }
-    // Maximal contiguous dirty run starting at first + i.
-    uint32_t j = i;
+    // Maximal contiguous dirty run starting at first + i, gathered
+    // directly from the frames (dirty frames are never borrows, so their
+    // bytes live in the pool slots).
+    ScratchMark sm(&scratch_);
+    ArenaVec<uint32_t> slots(&scratch_);
+    slots.push_back(static_cast<uint32_t>(s));
+    uint32_t j = i + 1;
     while (j < n_pages) {
       int sj = FindSlot(area, first + j);
       if (sj < 0 || !frames_[static_cast<uint32_t>(sj)].dirty) break;
+      slots.push_back(static_cast<uint32_t>(sj));
       ++j;
     }
     const uint32_t count = j - i;
-    std::vector<char> temp(static_cast<size_t>(count) * config_.page_size);
+    const char** srcs = scratch_.AllocArray<const char*>(count);
     for (uint32_t k = 0; k < count; ++k) {
-      int sk = FindSlot(area, first + i + k);
-      LOB_CHECK_GE(sk, 0);
-      std::memcpy(temp.data() + static_cast<size_t>(k) * config_.page_size,
-                  SlotData(static_cast<uint32_t>(sk)), config_.page_size);
+      LOB_CHECK(frames_[slots[k]].borrow == nullptr);
+      srcs[k] = SlotData(slots[k]);
     }
     {
       LOB_TRACE_SPAN(disk_, "pool.flush");
-      LOB_RETURN_IF_ERROR(disk_->Write(area, first + i, count, temp.data()));
+      LOB_RETURN_IF_ERROR(disk_->WriteRun(area, first + i, count, srcs));
     }
     for (uint32_t k = 0; k < count; ++k) {
-      int sk = FindSlot(area, first + i + k);
-      frames_[static_cast<uint32_t>(sk)].dirty = false;
+      frames_[slots[k]].dirty = false;
     }
     i = j;
   }
@@ -460,16 +544,17 @@ Status BufferPool::Invalidate(AreaId area, PageId first, uint32_t n_pages) {
     if (s < 0) continue;
     Frame& f = frames_[static_cast<uint32_t>(s)];
     if (f.pins != 0) return Status::Internal("invalidating pinned page");
-    map_.erase(Key(f.area, f.page));
+    map_.Erase(Key(f.area, f.page));
     f.valid = false;
     f.dirty = false;
+    f.borrow = nullptr;
   }
   return Status::OK();
 }
 
 std::vector<BufferPool::CachedPage> BufferPool::CachedPagesSorted() const {
-  // Walk the frame table (a vector, slot order) rather than the unordered
-  // lookup map, then pin the ordering explicitly: the result must be a
+  // Walk the frame table (a vector, slot order) rather than the hash
+  // lookup table, then pin the ordering explicitly: the result must be a
   // pure function of *which* pages are cached, never of insertion order
   // or hash seeding.
   std::vector<CachedPage> out;

@@ -13,16 +13,29 @@
 // Writes mirror reads: small runs are written into frames, marked dirty and
 // flushed by the caller at operation end (one sequential I/O call per
 // contiguous dirty run); large runs go directly to disk in one call.
+//
+// Zero-copy contract: clean frames *borrow* the SimDisk page image instead
+// of holding a private copy (Frame::borrow; page images are stable for the
+// life of the disk). A frame materializes — copies the image into its pool
+// slot — the moment a caller takes a mutable view (PageGuard::mutable_data
+// or MarkDirty), so dirty content lives only in the pool until flushed and
+// an injected fault can never leak unflushed bytes into the disk image.
+// Invariant: a borrowing frame is never dirty. `StorageConfig::
+// pool_zero_copy = false` materializes every fetch immediately (the
+// differential tests run both modes and demand identical images and
+// modeled costs). None of this changes the metered call sequence: borrow
+// vs copy is a wall-clock concern only.
 
 #ifndef LOB_BUFFER_BUFFER_POOL_H_
 #define LOB_BUFFER_BUFFER_POOL_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/config.h"
 #include "common/status.h"
+#include "buffer/page_table.h"
 #include "iomodel/sim_disk.h"
 
 namespace lob {
@@ -33,7 +46,7 @@ class BufferPool;
 class PageGuard {
  public:
   PageGuard() = default;
-  PageGuard(BufferPool* pool, uint32_t slot, char* data);
+  PageGuard(BufferPool* pool, uint32_t slot);
   PageGuard(PageGuard&& other) noexcept;
   PageGuard& operator=(PageGuard&& other) noexcept;
   PageGuard(const PageGuard&) = delete;
@@ -41,9 +54,18 @@ class PageGuard {
   ~PageGuard();
 
   bool valid() const { return pool_ != nullptr; }
-  char* data() const { return data_; }
 
-  /// Marks the pinned page dirty; it will be written back on flush/eviction.
+  /// Read-only view of the page. May point directly at the disk image
+  /// (borrowed frame); valid while the pin is held.
+  const char* data() const;
+
+  /// Mutable view of the page; materializes a borrowed frame first so
+  /// writes land in the pool, not the disk image. Does not mark dirty —
+  /// call MarkDirty once the modification is real.
+  char* mutable_data();
+
+  /// Marks the pinned page dirty (materializing it if borrowed); it will
+  /// be written back on flush/eviction.
   void MarkDirty();
 
   /// Explicitly unpins; the guard becomes invalid.
@@ -52,7 +74,6 @@ class PageGuard {
  private:
   BufferPool* pool_ = nullptr;
   uint32_t slot_ = 0;
-  char* data_ = nullptr;
 };
 
 /// How a page is fixed.
@@ -139,11 +160,11 @@ class BufferPool {
   ///
   /// This is the only sanctioned way to walk the pool's contents for
   /// stats/timeline/trace output: the internal lookup table is an
-  /// unordered_map whose iteration order is hash- and history-dependent,
-  /// so enumerating it directly would leak nondeterministic ordering into
-  /// exporters (tools/lob_lint.py rule LOB002/unordered-iter rejects such
-  /// iteration; the buffer_pool_test permutation test pins this function's
-  /// insertion-order independence).
+  /// open-addressing hash table whose bucket order is hash- and history-
+  /// dependent, so enumerating it directly would leak nondeterministic
+  /// ordering into exporters (tools/lob_lint.py rule LOB002/unordered-iter
+  /// rejects such iteration; the buffer_pool_test permutation test pins
+  /// this function's insertion-order independence).
   std::vector<CachedPage> CachedPagesSorted() const;
 
  private:
@@ -152,6 +173,9 @@ class BufferPool {
   struct Frame {
     AreaId area = 0;
     PageId page = kInvalidPage;
+    /// Borrowed disk page image backing a clean frame; nullptr when the
+    /// frame's pool slot holds the bytes. Never set while dirty.
+    const char* borrow = nullptr;
     bool valid = false;
     bool dirty = false;
     uint32_t pins = 0;
@@ -161,6 +185,19 @@ class BufferPool {
   char* SlotData(uint32_t slot) {
     return arena_.data() + static_cast<size_t>(slot) * config_.page_size;
   }
+  const char* SlotData(uint32_t slot) const {
+    return arena_.data() + static_cast<size_t>(slot) * config_.page_size;
+  }
+
+  /// The frame's current bytes: the borrowed image or the pool slot.
+  const char* FrameData(uint32_t slot) const {
+    const Frame& f = frames_[slot];
+    return f.borrow != nullptr ? f.borrow : SlotData(slot);
+  }
+
+  /// Copies a borrowed image into the frame's pool slot (no-op when
+  /// already materialized) and returns the now-private slot bytes.
+  char* MaterializeSlot(uint32_t slot);
 
   static uint64_t Key(AreaId area, PageId page) {
     return (static_cast<uint64_t>(area) << 32) | page;
@@ -186,7 +223,8 @@ class BufferPool {
   StorageConfig config_;
   std::vector<char> arena_;
   std::vector<Frame> frames_;
-  std::unordered_map<uint64_t, uint32_t> map_;
+  PageTable map_;
+  ScratchArena scratch_;  ///< staging for run I/O gather/scatter arrays
   uint64_t tick_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
@@ -198,13 +236,16 @@ class BufferPool {
   /// an UnmeteredSection) bracket themselves with SaveState/RestoreState
   /// so inspecting storage state cannot perturb the eviction order — and
   /// therefore the measured cost — of the operations that follow. Both
-  /// calls require every frame to be unpinned.
+  /// calls require every frame to be unpinned. Borrowed frames snapshot
+  /// by pointer: page images never move or disappear, and a read-only
+  /// walk can only write a page image by evicting a dirty frame for it —
+  /// which cannot coexist with a borrowed frame for the same page.
   struct State {
    private:
     friend class BufferPool;
     std::vector<char> arena;
     std::vector<Frame> frames;
-    std::unordered_map<uint64_t, uint32_t> map;
+    PageTable map;
     uint64_t tick = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;

@@ -7,16 +7,22 @@
 // end of the operation. An OpContext collects the pages to flush and
 // remembers which pages were already relocated during the current
 // operation so a page is shadowed at most once per operation.
+//
+// Bookkeeping lives in a ScratchArena (usually the owning StorageSystem's):
+// contexts are constructed on the hot path of every operation, and arena
+// backing makes that allocation-free in steady state. Nested contexts on
+// one arena follow mark/rewind stack discipline — the destructor rewinds
+// to the construction point, so inner contexts must die before outer ones
+// (they do: they are scoped locals).
 
 #ifndef LOB_BUFFER_OP_CONTEXT_H_
 #define LOB_BUFFER_OP_CONTEXT_H_
 
 #include <cstdint>
-#include <unordered_set>
-#include <utility>
-#include <vector>
+#include <memory>
 
 #include "buffer/buffer_pool.h"
+#include "common/arena.h"
 #include "common/status.h"
 
 namespace lob {
@@ -24,20 +30,35 @@ namespace lob {
 /// Deferred-flush and shadow bookkeeping for one logical object operation.
 class OpContext {
  public:
-  explicit OpContext(BufferPool* pool) : pool_(pool) {}
+  /// Uses `arena` for scratch lists; owns a private arena when none is
+  /// given (tests, standalone use).
+  explicit OpContext(BufferPool* pool, ScratchArena* arena = nullptr)
+      : pool_(pool),
+        own_(arena == nullptr ? std::make_unique<ScratchArena>() : nullptr),
+        arena_(arena != nullptr ? arena : own_.get()),
+        mark_(arena_->mark()),
+        deferred_(arena_),
+        shadowed_(arena_) {}
+
+  ~OpContext() { arena_->Rewind(mark_); }
 
   OpContext(const OpContext&) = delete;
   OpContext& operator=(const OpContext&) = delete;
 
   /// True if `page` is a shadow copy created during this operation (and so
-  /// must not be shadowed again).
+  /// must not be shadowed again). Linear scan: operations shadow at most a
+  /// handful of pages, so a flat list beats a hash set.
   bool AlreadyShadowed(AreaId area, PageId page) const {
-    return shadowed_.count(Key(area, page)) != 0;
+    const uint64_t key = Key(area, page);
+    for (uint64_t k : shadowed_) {
+      if (k == key) return true;
+    }
+    return false;
   }
 
   /// Records that `page` is a fresh shadow copy.
   void NoteShadowed(AreaId area, PageId page) {
-    shadowed_.insert(Key(area, page));
+    shadowed_.push_back(Key(area, page));
   }
 
   /// Schedules [first, first+n_pages) of `area` for write-back when the
@@ -92,8 +113,11 @@ class OpContext {
   }
 
   BufferPool* pool_;
-  std::vector<Deferred> deferred_;
-  std::unordered_set<uint64_t> shadowed_;
+  std::unique_ptr<ScratchArena> own_;  ///< fallback when no arena is shared
+  ScratchArena* arena_;
+  ScratchArena::Mark mark_;
+  ArenaVec<Deferred> deferred_;
+  ArenaVec<uint64_t> shadowed_;
 };
 
 }  // namespace lob

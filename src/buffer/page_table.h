@@ -1,0 +1,154 @@
+// PageTable: flat open-addressing hash table from page keys to frame slots.
+//
+// The buffer pool's lookup table is consulted on every FixPage and on
+// every page of every run operation; std::unordered_map's node-per-entry
+// layout makes that a pointer chase plus an allocation per insert. This
+// table is a single flat array with robin-hood probing (displacement-
+// ordered, so probe sequences stay short even near the load limit) and
+// backward-shift deletion (no tombstones, so lookups never degrade).
+//
+// Iteration order is deliberately not exposed: the pool's only sanctioned
+// enumeration is BufferPool::CachedPagesSorted(), which walks the frame
+// table and sorts (lint rule LOB002 keeps unordered iteration out of
+// exporters). Copyable, so BufferPool::State can snapshot it.
+
+#ifndef LOB_BUFFER_PAGE_TABLE_H_
+#define LOB_BUFFER_PAGE_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace lob {
+
+/// Open-addressing map from 64-bit keys to frame slot indices.
+class PageTable {
+ public:
+  PageTable() : buckets_(kMinBuckets) {}
+
+  /// Slot stored for `key`, or -1 when absent.
+  int Find(uint64_t key) const {
+    const size_t mask = buckets_.size() - 1;
+    size_t i = Hash(key) & mask;
+    uint32_t dist = 0;
+    while (true) {
+      const Bucket& b = buckets_[i];
+      if (!b.used || dist > b.dist) return -1;
+      if (b.key == key) return static_cast<int>(b.slot);
+      i = (i + 1) & mask;
+      ++dist;
+    }
+  }
+
+  /// Inserts `key` -> `slot`, overwriting an existing mapping.
+  void Insert(uint64_t key, uint32_t slot) {
+    if ((size_ + 1) * 8 >= buckets_.size() * 7) Rehash(buckets_.size() * 2);
+    InsertNoRehash(key, slot);
+  }
+
+  /// Removes `key`; returns false when absent.
+  bool Erase(uint64_t key) {
+    const size_t mask = buckets_.size() - 1;
+    size_t i = Hash(key) & mask;
+    uint32_t dist = 0;
+    while (true) {
+      Bucket& b = buckets_[i];
+      if (!b.used || dist > b.dist) return false;
+      if (b.key == key) break;
+      i = (i + 1) & mask;
+      ++dist;
+    }
+    // Backward-shift the following displaced entries into the hole.
+    size_t hole = i;
+    while (true) {
+      const size_t next = (hole + 1) & mask;
+      Bucket& n = buckets_[next];
+      if (!n.used || n.dist == 0) break;
+      buckets_[hole] = n;
+      buckets_[hole].dist--;
+      hole = next;
+    }
+    buckets_[hole] = Bucket{};
+    --size_;
+    return true;
+  }
+
+  void Clear() {
+    for (Bucket& b : buckets_) b = Bucket{};
+    size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  struct Bucket {
+    uint64_t key = 0;
+    uint32_t slot = 0;
+    uint32_t dist = 0;  ///< probe distance from the key's home bucket
+    bool used = false;
+  };
+
+  static constexpr size_t kMinBuckets = 16;  // power of two
+
+  /// splitmix64 finalizer: full-avalanche mix of the (area, page) key.
+  static size_t Hash(uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+
+  void InsertNoRehash(uint64_t key, uint32_t slot) {
+    const size_t mask = buckets_.size() - 1;
+    uint64_t k = key;
+    uint32_t s = slot;
+    uint32_t dist = 0;
+    bool carrying_original = true;
+    size_t i = Hash(k) & mask;
+    while (true) {
+      Bucket& b = buckets_[i];
+      if (!b.used) {
+        b.key = k;
+        b.slot = s;
+        b.dist = dist;
+        b.used = true;
+        ++size_;
+        return;
+      }
+      if (carrying_original && b.key == k) {
+        b.slot = s;  // overwrite existing mapping
+        return;
+      }
+      if (b.dist < dist) {  // rob the rich: displace the closer entry
+        std::swap(k, b.key);
+        std::swap(s, b.slot);
+        std::swap(dist, b.dist);
+        carrying_original = false;
+      }
+      i = (i + 1) & mask;
+      ++dist;
+    }
+  }
+
+  void Rehash(size_t n_buckets) {
+    LOB_CHECK_EQ(n_buckets & (n_buckets - 1), size_t{0});
+    std::vector<Bucket> old = std::move(buckets_);
+    buckets_.assign(n_buckets, Bucket{});
+    size_ = 0;
+    for (const Bucket& b : old) {
+      if (b.used) InsertNoRehash(b.key, b.slot);
+    }
+  }
+
+  std::vector<Bucket> buckets_;
+  size_t size_ = 0;
+};
+
+}  // namespace lob
+
+#endif  // LOB_BUFFER_PAGE_TABLE_H_

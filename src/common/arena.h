@@ -1,0 +1,167 @@
+// ScratchArena: bump allocator for per-operation scratch memory.
+//
+// The hot path allocates small, short-lived buffers constantly: deferred
+// flush lists and shadow sets in OpContext, gather/scatter pointer arrays
+// and boundary-page staging in BufferPool's run I/O. A bump allocator
+// turns each of those into a pointer increment; memory is reclaimed in
+// O(1) by rewinding to a mark (stack discipline — operations nest, so the
+// RAII ScratchMark matches their lifetimes exactly). Blocks are retained
+// across rewinds, so steady state performs no heap allocation at all.
+//
+// Not thread-safe; each single-threaded component (StorageSystem,
+// BufferPool) owns its own arena.
+
+#ifndef LOB_COMMON_ARENA_H_
+#define LOB_COMMON_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace lob {
+
+/// Bump allocator with mark/rewind reclamation. See the file comment.
+class ScratchArena {
+ public:
+  /// Position in the arena; allocations made after taking a mark are
+  /// reclaimed by Rewind(mark).
+  struct Mark {
+    uint32_t block = 0;
+    size_t used = 0;
+  };
+
+  explicit ScratchArena(size_t first_block_bytes = 16 * 1024)
+      : first_block_bytes_(std::max<size_t>(first_block_bytes, 64)) {}
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Returns `n` bytes aligned to `align` (a power of two). Never fails
+  /// (grows by adding geometrically larger blocks).
+  char* Allocate(size_t n, size_t align = alignof(std::max_align_t)) {
+    LOB_CHECK_EQ(align & (align - 1), size_t{0});
+    while (cur_ < blocks_.size()) {
+      Block& b = blocks_[cur_];
+      const size_t at = (b.used + align - 1) & ~(align - 1);
+      if (at + n <= b.cap) {
+        b.used = at + n;
+        return b.data.get() + at;
+      }
+      // Current block exhausted; later blocks (retained by a rewind) may
+      // still fit. Their used offsets are 0 by the rewind contract.
+      ++cur_;
+    }
+    const size_t last_cap = blocks_.empty() ? first_block_bytes_ / 2
+                                            : blocks_.back().cap;
+    Block b;
+    b.cap = std::max(n + align, last_cap * 2);
+    b.data = std::make_unique<char[]>(b.cap);
+    b.used = 0;
+    blocks_.push_back(std::move(b));
+    cur_ = static_cast<uint32_t>(blocks_.size() - 1);
+    return Allocate(n, align);
+  }
+
+  /// Typed array helper for trivially copyable element types.
+  template <typename T>
+  T* AllocArray(size_t n) {
+    return reinterpret_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  Mark mark() const {
+    if (blocks_.empty()) return Mark{};
+    return Mark{cur_, blocks_[cur_].used};
+  }
+
+  /// Releases everything allocated since `m` was taken. Blocks are kept
+  /// for reuse. Marks must be rewound in LIFO order.
+  void Rewind(const Mark& m) {
+    if (blocks_.empty()) return;
+    LOB_CHECK_LT(m.block, blocks_.size());
+    for (size_t i = m.block + 1; i < blocks_.size(); ++i) {
+      blocks_[i].used = 0;
+    }
+    blocks_[m.block].used = m.used;
+    cur_ = m.block;
+  }
+
+  /// Rewinds to empty, keeping the blocks.
+  void Reset() { Rewind(Mark{}); }
+
+  /// Total capacity across blocks (test/metrics helper).
+  size_t capacity_bytes() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.cap;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t cap = 0;
+    size_t used = 0;
+  };
+
+  size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  uint32_t cur_ = 0;
+};
+
+/// RAII mark: rewinds the arena to the construction point on destruction.
+class ScratchMark {
+ public:
+  explicit ScratchMark(ScratchArena* arena)
+      : arena_(arena), mark_(arena->mark()) {}
+  ~ScratchMark() { arena_->Rewind(mark_); }
+
+  ScratchMark(const ScratchMark&) = delete;
+  ScratchMark& operator=(const ScratchMark&) = delete;
+
+ private:
+  ScratchArena* arena_;
+  ScratchArena::Mark mark_;
+};
+
+/// Growable array of a trivially copyable T backed by a ScratchArena.
+/// Growth abandons the old storage inside the arena (reclaimed wholesale
+/// by the owner's rewind), so elements must not hold owning pointers.
+template <typename T>
+class ArenaVec {
+ public:
+  explicit ArenaVec(ScratchArena* arena) : arena_(arena) {}
+
+  void push_back(const T& v) {
+    if (size_ == cap_) Grow();
+    data_[size_++] = v;
+  }
+
+  void clear() { size_ = 0; }
+  bool empty() const { return size_ == 0; }
+  uint32_t size() const { return size_; }
+  const T& operator[](uint32_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  void Grow() {
+    const uint32_t ncap = cap_ == 0 ? 8 : cap_ * 2;
+    T* nd = arena_->AllocArray<T>(ncap);
+    if (size_ > 0) std::memcpy(nd, data_, size_t{size_} * sizeof(T));
+    data_ = nd;
+    cap_ = ncap;
+  }
+
+  ScratchArena* arena_;
+  T* data_ = nullptr;
+  uint32_t size_ = 0;
+  uint32_t cap_ = 0;
+};
+
+}  // namespace lob
+
+#endif  // LOB_COMMON_ARENA_H_

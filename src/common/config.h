@@ -46,6 +46,14 @@ struct StorageConfig {
   /// during inserts/deletes (paper 3.5: a 512 K-byte virtual memory space).
   uint32_t copy_buffer_bytes = 512 * 1024;
 
+  /// Zero-copy page access: buffer pool frames borrow clean page bytes
+  /// directly from the simulated disk image and copy-on-write into their
+  /// private frame only when modified. Purely a wall-clock optimization —
+  /// modeled costs, call sequences and disk images are identical either
+  /// way (tests/zero_copy_test.cc runs both modes differentially). Turn
+  /// off to force the historical always-copy behavior.
+  bool pool_zero_copy = true;
+
   /// Transfer cost of one page in milliseconds.
   double PageTransferMs() const {
     return static_cast<double>(page_size) / 1024.0 / transfer_kb_per_ms;

@@ -44,9 +44,10 @@ Status Database::InitFresh() {
   auto g = sys_->pool()->FixPage(sys_->meta_area()->id(), superblock_,
                                  FixMode::kNew);
   if (!g.ok()) return g.status();
-  StoreU32(g->data(), kSuperblockMagic);
-  StoreU32(g->data() + 4, kSuperblockVersion);
-  StoreU32(g->data() + 8, *head);
+  char* p = g->mutable_data();
+  StoreU32(p, kSuperblockMagic);
+  StoreU32(p + 4, kSuperblockVersion);
+  StoreU32(p + 8, *head);
   g->MarkDirty();
   LOB_RETURN_IF_ERROR(
       sys_->pool()->FlushRun(sys_->meta_area()->id(), superblock_, 1));

@@ -35,10 +35,11 @@ StatusOr<PageId> ObjectCatalog::Create() {
   if (!ext.ok()) return ext.status();
   auto g = sys_->pool()->FixPage(area_id(), ext->first_page(), FixMode::kNew);
   if (!g.ok()) return g.status();  // guard reclaims the head page
-  StoreU32(g->data(), kCatalogMagic);
-  StoreU32(g->data() + 4, kInvalidPage);
-  StoreU16(g->data() + 8, 0);
-  StoreU16(g->data() + 10, 0);
+  char* p = g->mutable_data();
+  StoreU32(p, kCatalogMagic);
+  StoreU32(p + 4, kInvalidPage);
+  StoreU16(p + 8, 0);
+  StoreU16(p + 10, 0);
   g->MarkDirty();
   ext->Commit();
   head_ = ext->first_page();
@@ -89,7 +90,7 @@ Status ObjectCatalog::WritePage(PageId page, const std::vector<Entry>& entries,
                                 PageId next) {
   auto g = sys_->pool()->FixPage(area_id(), page, FixMode::kRead);
   if (!g.ok()) return g.status();
-  char* p = g->data();
+  char* p = g->mutable_data();
   StoreU32(p, kCatalogMagic);
   StoreU32(p + 4, next);
   size_t at = kHeaderBytes;
@@ -151,10 +152,11 @@ Status ObjectCatalog::Put(std::string_view name, ObjectId id) {
         auto g = sys_->pool()->FixPage(area_id(), ext->first_page(),
                                        FixMode::kNew);
         if (!g.ok()) return g.status();
-        StoreU32(g->data(), kCatalogMagic);
-        StoreU32(g->data() + 4, kInvalidPage);
-        StoreU16(g->data() + 8, 0);
-        StoreU16(g->data() + 10, 0);
+        char* p = g->mutable_data();
+        StoreU32(p, kCatalogMagic);
+        StoreU32(p + 4, kInvalidPage);
+        StoreU16(p + 8, 0);
+        StoreU16(p + 10, 0);
         g->MarkDirty();
       }
       LOB_RETURN_IF_ERROR(WritePage(page, entries, ext->first_page()));

@@ -13,6 +13,7 @@
 
 #include "buddy/database_area.h"
 #include "buffer/buffer_pool.h"
+#include "common/arena.h"
 #include "buffer/op_context.h"
 #include "common/config.h"
 #include "iomodel/sim_disk.h"
@@ -31,6 +32,11 @@ class StorageSystem {
 
   SimDisk* disk() { return disk_.get(); }
   BufferPool* pool() { return pool_.get(); }
+
+  /// Shared per-operation scratch arena. Engines hand it to OpContext (and
+  /// any other short-lived hot-path bookkeeping) so steady-state operations
+  /// allocate nothing; nested users follow mark/rewind stack discipline.
+  ScratchArena* arena() { return &arena_; }
 
   /// Metrics registry: named counters/histograms plus the per-operation
   /// I/O attribution ledger fed by OpScope tags on the disk.
@@ -84,6 +90,7 @@ class StorageSystem {
 
  private:
   StorageConfig config_;
+  ScratchArena arena_;
   std::unique_ptr<ObsRegistry> obs_;
   std::unique_ptr<SimDisk> disk_;
   std::unique_ptr<BufferPool> pool_;

@@ -63,7 +63,7 @@ StatusOr<ScopedExtent> EosManager::WriteNewSegment(std::string_view content,
 
 Status EosManager::Destroy(ObjectId id) {
   OpScope obs_scope(sys_->disk(), "eos.destroy");
-  OpContext ctx(sys_->pool());
+  OpContext ctx(sys_->pool(), sys_->arena());
   LOB_RETURN_IF_ERROR(TrimLastSlack(id, &ctx));
   std::vector<std::pair<PageId, uint32_t>> segs;
   LOB_RETURN_IF_ERROR(tree_->VisitLeaves(id, [&](const auto& leaf) {
@@ -102,7 +102,7 @@ Status EosManager::Read(ObjectId id, uint64_t offset, uint64_t n,
 Status EosManager::Append(ObjectId id, std::string_view data) {
   if (data.empty()) return Status::OK();
   OpScope obs_scope(sys_->disk(), "eos.append");
-  OpContext ctx(sys_->pool());
+  OpContext ctx(sys_->pool(), sys_->arena());
   auto size = tree_->Size(id);
   if (!size.ok()) return size.status();
   const uint64_t P = page_size();
@@ -230,7 +230,7 @@ Status EosManager::Insert(ObjectId id, uint64_t offset,
   if (offset > *size) return Status::OutOfRange("insert past object end");
   if (offset == *size) return Append(id, data);
 
-  OpContext ctx(sys_->pool());
+  OpContext ctx(sys_->pool(), sys_->arena());
   LOB_RETURN_IF_ERROR(TrimLastSlack(id, &ctx));
   auto leaf = tree_->FindLeaf(id, offset);
   if (!leaf.ok()) return leaf.status();
@@ -325,7 +325,7 @@ Status EosManager::Delete(ObjectId id, uint64_t offset, uint64_t n) {
   if (!size.ok()) return size.status();
   if (offset + n > *size) return Status::OutOfRange("delete past object end");
 
-  OpContext ctx(sys_->pool());
+  OpContext ctx(sys_->pool(), sys_->arena());
   LOB_RETURN_IF_ERROR(TrimLastSlack(id, &ctx));
   const uint64_t P = page_size();
   uint64_t remaining = n;
@@ -600,7 +600,7 @@ Status EosManager::Replace(ObjectId id, uint64_t offset,
   if (offset + data.size() > *size) {
     return Status::OutOfRange("replace past object end");
   }
-  OpContext ctx(sys_->pool());
+  OpContext ctx(sys_->pool(), sys_->arena());
   LOB_RETURN_IF_ERROR(TrimLastSlack(id, &ctx));
   uint64_t done = 0;
   while (done < data.size()) {
@@ -662,7 +662,7 @@ StatusOr<ObjectStorageStats> EosManager::GetStorageStats(ObjectId id) {
 
 Status EosManager::Trim(ObjectId id) {
   OpScope obs_scope(sys_->disk(), "eos.trim");
-  OpContext ctx(sys_->pool());
+  OpContext ctx(sys_->pool(), sys_->arena());
   LOB_RETURN_IF_ERROR(TrimLastSlack(id, &ctx));
   return ctx.Finish();
 }

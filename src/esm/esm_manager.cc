@@ -215,7 +215,7 @@ Status EsmManager::AppendWithRedistribution(
 Status EsmManager::Append(ObjectId id, std::string_view data) {
   if (data.empty()) return Status::OK();
   OpScope obs_scope(sys_->disk(), "esm.append");
-  OpContext ctx(sys_->pool());
+  OpContext ctx(sys_->pool(), sys_->arena());
   auto size = tree_->Size(id);
   if (!size.ok()) return size.status();
   Status s;
@@ -276,7 +276,7 @@ Status EsmManager::Insert(ObjectId id, uint64_t offset,
   if (offset > *size) return Status::OutOfRange("insert past object end");
   if (offset == *size) return Append(id, data);
 
-  OpContext ctx(sys_->pool());
+  OpContext ctx(sys_->pool(), sys_->arena());
   const uint64_t cap = LeafCapacity();
   auto leaf = tree_->FindLeaf(id, offset);
   if (!leaf.ok()) return leaf.status();
@@ -384,7 +384,7 @@ Status EsmManager::Delete(ObjectId id, uint64_t offset, uint64_t n) {
   if (!size.ok()) return size.status();
   if (offset + n > *size) return Status::OutOfRange("delete past object end");
 
-  OpContext ctx(sys_->pool());
+  OpContext ctx(sys_->pool(), sys_->arena());
   uint64_t remaining = n;
   while (remaining > 0) {
     auto leaf = tree_->FindLeaf(id, offset);
@@ -492,7 +492,7 @@ Status EsmManager::Replace(ObjectId id, uint64_t offset,
   if (offset + data.size() > *size) {
     return Status::OutOfRange("replace past object end");
   }
-  OpContext ctx(sys_->pool());
+  OpContext ctx(sys_->pool(), sys_->arena());
   uint64_t done = 0;
   while (done < data.size()) {
     auto leaf = tree_->FindLeaf(id, offset + done);

@@ -64,6 +64,17 @@ std::string BenchProfile::ToJson() const {
   AppendNumber(CellWallMsTotal(), &out);
   out += ",\n  \"cell_modeled_ms_total\": ";
   AppendNumber(CellModeledMsTotal(), &out);
+  if (!metrics_.empty()) {
+    out += ",\n  \"metrics\": {";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      out += i == 0 ? "" : ", ";
+      out += "\"";
+      AppendEscaped(metrics_[i].first, &out);
+      out += "\": ";
+      AppendNumber(metrics_[i].second, &out);
+    }
+    out += "}";
+  }
   out += ",\n  \"cells\": [";
   for (size_t i = 0; i < cells_.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";

@@ -11,6 +11,7 @@
 #define LOB_EXEC_BENCH_PROFILE_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace lob {
@@ -46,6 +47,12 @@ class BenchProfile {
     cells_.push_back(Cell{std::move(config), wall_ms, modeled_ms});
   }
 
+  /// Named scalar metric (e.g. "cells_per_sec") emitted under "metrics".
+  /// Profiles with no metrics keep their prior JSON shape byte-for-byte.
+  void AddMetric(std::string name, double value) {
+    metrics_.emplace_back(std::move(name), value);
+  }
+
   /// Total wall clock of the whole bench process (flag parsing, fan-out,
   /// table printing), as opposed to the sum of cell walls.
   void set_suite_wall_ms(double ms) { suite_wall_ms_ = ms; }
@@ -73,6 +80,7 @@ class BenchProfile {
   std::string host_note_;
   double suite_wall_ms_ = 0;
   std::vector<Cell> cells_;
+  std::vector<std::pair<std::string, double>> metrics_;
 };
 
 }  // namespace lob

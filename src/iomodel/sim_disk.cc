@@ -50,9 +50,12 @@ void SimDisk::AccountCall(bool is_read, uint32_t n_pages) {
   stats_ += call;
   if (attribution_suspended_ == 0) {
     if (obs_ != nullptr) {
-      obs_->AttributeCall(
-          current_op_ != nullptr ? current_op_ : ObsRegistry::kUnattributed,
-          call);
+      if (attr_rec_ == nullptr || attr_gen_ != obs_->attribution_generation()) {
+        attr_rec_ = obs_->AttributionRecord(
+            current_op_ != nullptr ? current_op_ : ObsRegistry::kUnattributed);
+        attr_gen_ = obs_->attribution_generation();
+      }
+      static_cast<ObsRegistry::OpRecord*>(attr_rec_)->io += call;
     }
 #if LOB_TRACING
     if (trace_ != nullptr) {
@@ -159,6 +162,13 @@ Status SimDisk::CheckRange(AreaId area, PageId first, uint32_t n_pages) const {
 char* SimDisk::PageData(Area& area, PageId page, bool create) {
   if (page >= area.pages.size()) {
     if (!create) return nullptr;
+    if (page >= area.pages.capacity()) {
+      // Geometric growth: append-heavy workloads extend the area one page
+      // at a time, and per-element reallocation is quadratic on standard
+      // libraries that only guarantee amortized growth for push_back.
+      area.pages.reserve(
+          std::max<size_t>(size_t{page} + 1, area.pages.capacity() * 2));
+    }
     area.pages.resize(page + 1);
   }
   auto& slot = area.pages[page];
@@ -198,6 +208,36 @@ Status SimDisk::Write(AreaId area, PageId first, uint32_t n_pages,
     char* dst = PageData(a, first + i, /*create=*/true);
     std::memcpy(dst, in, config_.page_size);
     in += config_.page_size;
+  }
+  AccountCall(/*is_read=*/false, n_pages);
+  return Status::OK();
+}
+
+Status SimDisk::ReadRun(AreaId area, PageId first, uint32_t n_pages,
+                        PageRef* refs) {
+  LOB_RETURN_IF_ERROR(CheckRange(area, first, n_pages));
+  LOB_RETURN_IF_ERROR(CheckFaults(/*is_read=*/true, area, first, n_pages));
+  Area& a = areas_[area];
+  for (uint32_t i = 0; i < n_pages; ++i) {
+    refs[i].data = PageData(a, first + i, /*create=*/false);
+  }
+  AccountCall(/*is_read=*/true, n_pages);
+  return Status::OK();
+}
+
+Status SimDisk::WriteRun(AreaId area, PageId first, uint32_t n_pages,
+                         const char* const* srcs, MutPageRef* imgs) {
+  LOB_RETURN_IF_ERROR(CheckRange(area, first, n_pages));
+  LOB_RETURN_IF_ERROR(CheckFaults(/*is_read=*/false, area, first, n_pages));
+  Area& a = areas_[area];
+  for (uint32_t i = 0; i < n_pages; ++i) {
+    char* dst = PageData(a, first + i, /*create=*/true);
+    if (srcs[i] == nullptr) {
+      std::memset(dst, 0, config_.page_size);
+    } else if (srcs[i] != dst) {  // a borrowed self-view needs no copy
+      std::memcpy(dst, srcs[i], config_.page_size);
+    }
+    if (imgs != nullptr) imgs[i].data = dst;
   }
   AccountCall(/*is_read=*/false, n_pages);
   return Status::OK();

@@ -39,6 +39,23 @@ using PageId = uint32_t;
 
 constexpr PageId kInvalidPage = UINT32_MAX;
 
+/// Borrowed read-only view of one page image, returned by ReadRun.
+///
+/// Stability contract: page images never move or disappear for the life of
+/// the disk, so the pointer stays valid indefinitely. The bytes are the
+/// *live* image — a later Write to the page shows through the view. A null
+/// `data` means the page was never written and reads as zeros.
+struct PageRef {
+  const char* data = nullptr;
+};
+
+/// Borrowed mutable view of one page image, filled in by WriteRun so
+/// callers (the buffer pool) can re-borrow freshly written pages without
+/// copying them back out. Same stability contract as PageRef.
+struct MutPageRef {
+  char* data = nullptr;
+};
+
 /// In-memory simulated disk with per-call cost accounting.
 class SimDisk {
  public:
@@ -63,6 +80,23 @@ class SimDisk {
   /// Writes `n_pages` physically adjacent pages from `src`. One I/O call.
   [[nodiscard]]
   Status Write(AreaId area, PageId first, uint32_t n_pages, const void* src);
+
+  /// Zero-copy read of `n_pages` physically adjacent pages: fills `refs`
+  /// with borrowed views of the page images instead of copying them out.
+  /// Metered and fault-checked exactly like Read of the same range (one
+  /// call: one seek + n_pages transfers).
+  [[nodiscard]]
+  Status ReadRun(AreaId area, PageId first, uint32_t n_pages, PageRef* refs);
+
+  /// Gather-write of `n_pages` physically adjacent pages: page i is copied
+  /// from `srcs[i]` (null = zero-fill; a pointer aliasing the page's own
+  /// image is a no-op, letting coherence refreshes pass borrowed views
+  /// back). When `imgs` is non-null it receives borrowed views of the
+  /// written images. Metered and fault-checked exactly like Write of the
+  /// same range.
+  [[nodiscard]]
+  Status WriteRun(AreaId area, PageId first, uint32_t n_pages,
+                  const char* const* srcs, MutPageRef* imgs = nullptr);
 
   /// Accumulated I/O counters since construction or the last ResetStats().
   const IoStats& stats() const { return stats_; }
@@ -141,13 +175,21 @@ class SimDisk {
   /// Attaches a metrics registry; every subsequent metered call is charged
   /// to the current operation label (or ObsRegistry::kUnattributed).
   /// Pass nullptr to detach. The registry must outlive the disk.
-  void set_obs(ObsRegistry* obs) { obs_ = obs; }
+  void set_obs(ObsRegistry* obs) {
+    obs_ = obs;
+    attr_rec_ = nullptr;
+  }
   ObsRegistry* obs() const { return obs_; }
 
   /// Current logical-operation label; managed by OpScope (nullptr when no
-  /// operation is active).
+  /// operation is active). Switching labels drops the cached attribution
+  /// record so the ledger entry is resolved once per operation, not once
+  /// per metered call.
   const char* current_op() const { return current_op_; }
-  void set_current_op(const char* label) { current_op_ = label; }
+  void set_current_op(const char* label) {
+    current_op_ = label;
+    attr_rec_ = nullptr;
+  }
 
   /// Re-entrant attribution suspension. While suspended, calls are metered
   /// into the global stats but not charged to any label; used by
@@ -217,6 +259,11 @@ class SimDisk {
   TraceSession* trace_ = nullptr;
   const char* current_op_ = nullptr;
   uint32_t attribution_suspended_ = 0;
+  // Attribution memo: ledger record of the current op, resolved on the
+  // first metered call after a label change (see set_current_op) and
+  // dropped when the registry resets its ledger (generation check).
+  void* attr_rec_ = nullptr;
+  uint64_t attr_gen_ = 0;
 };
 
 }  // namespace lob

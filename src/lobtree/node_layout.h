@@ -69,11 +69,19 @@ inline void StoreU16(char* p, uint16_t v) { std::memcpy(p, &v, 2); }
 
 }  // namespace node
 
-/// Mutable view over a tree node's page image. Cheap to construct; does not
-/// own the underlying buffer (which normally lives in a buffer pool frame).
-class NodeView {
+/// View over a tree node's page image. Cheap to construct; does not own
+/// the underlying buffer (which normally lives in a buffer pool frame).
+///
+/// `CharT` is `char` (NodeView, mutable) or `const char` (ConstNodeView,
+/// read-only). The mutating members are templates over the same CharT and
+/// only instantiate when called, so constructing a ConstNodeView over a
+/// borrowed page image compiles — but calling a mutator on it does not.
+/// Read paths use ConstNodeView over PageGuard::data() and never force the
+/// zero-copy pool to materialize a private page copy.
+template <typename CharT>
+class BasicNodeView {
  public:
-  NodeView(char* data, uint32_t page_size, bool is_root)
+  BasicNodeView(CharT* data, uint32_t page_size, bool is_root)
       : data_(data), page_size_(page_size), is_root_(is_root) {}
 
   /// Formats a fresh node in the buffer.
@@ -181,7 +189,7 @@ class NodeView {
   void InsertPair(uint32_t i, uint32_t bytes, PageId page) {
     const uint16_t n = npairs();
     LOB_CHECK_LE(i, n);
-    char* at = PairPtr(i);
+    CharT* at = PairPtr(i);
     std::memmove(at + 8, at, static_cast<size_t>(n - i) * 8);
     set_npairs(static_cast<uint16_t>(n + 1));
     const uint32_t base = i == 0 ? 0 : Count(i - 1);
@@ -195,7 +203,7 @@ class NodeView {
     const uint16_t n = npairs();
     LOB_CHECK_LT(i, n);
     const uint32_t bytes = SubtreeBytes(i);
-    char* at = PairPtr(i);
+    CharT* at = PairPtr(i);
     std::memmove(at, at + 8, static_cast<size_t>(n - i - 1) * 8);
     set_npairs(static_cast<uint16_t>(n - 1));
     for (uint32_t j = i; j + 1 <= static_cast<uint32_t>(n - 1); ++j) {
@@ -225,16 +233,22 @@ class NodeView {
   const char* raw() const { return data_; }
 
  private:
-  char* PairPtr(uint32_t i) const {
+  CharT* PairPtr(uint32_t i) const {
     const uint32_t header =
         is_root_ ? node::kRootHeaderBytes : node::kInternalHeaderBytes;
     return data_ + header + static_cast<size_t>(i) * 8;
   }
 
-  char* data_;
+  CharT* data_;
   uint32_t page_size_;
   bool is_root_;
 };
+
+/// Mutable node view over a pool frame's private (materialized) bytes.
+using NodeView = BasicNodeView<char>;
+
+/// Read-only node view; safe over borrowed (zero-copy) page images.
+using ConstNodeView = BasicNodeView<const char>;
 
 }  // namespace lob
 

@@ -26,7 +26,8 @@ void WriteEntries(NodeView* v, const std::vector<LeafEntry>& entries,
   }
 }
 
-std::vector<LeafEntry> GatherEntries(const NodeView& v) {
+template <typename View>
+std::vector<LeafEntry> GatherEntries(const View& v) {
   std::vector<LeafEntry> out;
   out.reserve(v.npairs());
   for (uint32_t i = 0; i < v.npairs(); ++i) {
@@ -64,7 +65,7 @@ StatusOr<PageId> PositionalTree::CreateObject(uint8_t engine) {
     auto g = config_.pool->FixPage(meta_area_id(), ext->first_page(),
                                    FixMode::kNew);
     if (!g.ok()) return g.status();  // ext rolls the root page back
-    NodeView v(g->data(), config_.pool->page_size(), /*is_root=*/true);
+    NodeView v(g->mutable_data(), config_.pool->page_size(), /*is_root=*/true);
     v.Init(/*height=*/1, engine);
     g->MarkDirty();
   }
@@ -89,7 +90,7 @@ Status PositionalTree::DestroyObject(PageId root) {
         auto g = tree->config_.pool->FixPage(tree->meta_area_id(), page,
                                              FixMode::kRead);
         if (!g.ok()) return g.status();
-        NodeView v(g->data(), tree->config_.pool->page_size(), is_root);
+        ConstNodeView v(g->data(), tree->config_.pool->page_size(), is_root);
         if (!v.IsValid()) return Status::Corruption("bad node magic");
         height = v.height();
         if (height > 1) {
@@ -109,7 +110,7 @@ Status PositionalTree::DestroyObject(PageId root) {
 StatusOr<uint64_t> PositionalTree::Size(PageId root) {
   auto g = config_.pool->FixPage(meta_area_id(), root, FixMode::kRead);
   if (!g.ok()) return g.status();
-  NodeView v(g->data(), config_.pool->page_size(), /*is_root=*/true);
+  ConstNodeView v(g->data(), config_.pool->page_size(), /*is_root=*/true);
   if (!v.IsValid()) return Status::Corruption("bad root magic");
   return static_cast<uint64_t>(v.TotalBytes());
 }
@@ -124,7 +125,7 @@ StatusOr<PositionalTree::LeafInfo> PositionalTree::FindLeaf(PageId root,
   while (true) {
     auto g = config_.pool->FixPage(meta_area_id(), page, FixMode::kRead);
     if (!g.ok()) return g.status();
-    NodeView v(g->data(), config_.pool->page_size(), is_root);
+    ConstNodeView v(g->data(), config_.pool->page_size(), is_root);
     if (!v.IsValid()) return Status::Corruption("bad node magic");
     if (v.npairs() == 0 || rel >= v.TotalBytes()) {
       return Status::OutOfRange("offset beyond object size");
@@ -163,7 +164,8 @@ StatusOr<PageId> PositionalTree::PrepareModify(PageId page, OpContext* ctx) {
     if (!old_g.ok()) return old_g.status();  // ext rolls the shadow back
     auto new_g = config_.pool->FixPage(meta_area_id(), np, FixMode::kNew);
     if (!new_g.ok()) return new_g.status();
-    std::memcpy(new_g->data(), old_g->data(), config_.pool->page_size());
+    std::memcpy(new_g->mutable_data(), old_g->data(),
+                config_.pool->page_size());
     new_g->MarkDirty();
   }
   // The shadow copy is complete: commit it, then retire the old page.
@@ -185,7 +187,8 @@ StatusOr<PageId> PositionalTree::NewInternalNode(uint16_t height,
     auto g = config_.pool->FixPage(meta_area_id(), ext->first_page(),
                                    FixMode::kNew);
     if (!g.ok()) return g.status();  // ext rolls the node back
-    NodeView v(g->data(), config_.pool->page_size(), /*is_root=*/false);
+    NodeView v(g->mutable_data(), config_.pool->page_size(),
+               /*is_root=*/false);
     v.Init(height);
     g->MarkDirty();
   }
@@ -203,10 +206,11 @@ StatusOr<PositionalTree::SplitResult> PositionalTree::InsertPairInNode(
   {
     auto g = config_.pool->FixPage(meta_area_id(), page, FixMode::kRead);
     if (!g.ok()) return g.status();
-    NodeView v(g->data(), config_.pool->page_size(), is_root);
+    ConstNodeView v(g->data(), config_.pool->page_size(), is_root);
     height = v.height();
     if (v.npairs() < CapacityOf(is_root)) {
-      v.InsertPair(idx, bytes, child);
+      NodeView mv(g->mutable_data(), config_.pool->page_size(), is_root);
+      mv.InsertPair(idx, bytes, child);
       g->MarkDirty();
       return SplitResult{};
     }
@@ -228,14 +232,15 @@ StatusOr<PositionalTree::SplitResult> PositionalTree::InsertPairInNode(
       const PageId p = side == 0 ? *left_or : *right_or;
       auto g = config_.pool->FixPage(meta_area_id(), p, FixMode::kRead);
       if (!g.ok()) return g.status();
-      NodeView v(g->data(), config_.pool->page_size(), /*is_root=*/false);
+      NodeView v(g->mutable_data(), config_.pool->page_size(),
+                 /*is_root=*/false);
       WriteEntries(&v, entries, side == 0 ? 0 : left_n,
                    side == 0 ? left_n : right_n);
       g->MarkDirty();
     }
     auto g = config_.pool->FixPage(meta_area_id(), page, FixMode::kRead);
     if (!g.ok()) return g.status();
-    NodeView v(g->data(), config_.pool->page_size(), is_root);
+    NodeView v(g->mutable_data(), config_.pool->page_size(), is_root);
     v.set_height(static_cast<uint16_t>(height + 1));
     std::vector<LeafEntry> top = {
         {SumBytes(entries, 0, left_n), *left_or},
@@ -252,14 +257,16 @@ StatusOr<PositionalTree::SplitResult> PositionalTree::InsertPairInNode(
   {
     auto g = config_.pool->FixPage(meta_area_id(), page, FixMode::kRead);
     if (!g.ok()) return g.status();
-    NodeView v(g->data(), config_.pool->page_size(), /*is_root=*/false);
+    NodeView v(g->mutable_data(), config_.pool->page_size(),
+               /*is_root=*/false);
     WriteEntries(&v, entries, 0, left_n);
     g->MarkDirty();
   }
   {
     auto g = config_.pool->FixPage(meta_area_id(), *sib_or, FixMode::kRead);
     if (!g.ok()) return g.status();
-    NodeView v(g->data(), config_.pool->page_size(), /*is_root=*/false);
+    NodeView v(g->mutable_data(), config_.pool->page_size(),
+               /*is_root=*/false);
     WriteEntries(&v, entries, left_n, right_n);
     g->MarkDirty();
   }
@@ -276,7 +283,7 @@ StatusOr<PositionalTree::SplitResult> PositionalTree::InsertRec(
   {
     auto g = config_.pool->FixPage(meta_area_id(), page, FixMode::kRead);
     if (!g.ok()) return g.status();
-    NodeView v(g->data(), config_.pool->page_size(), is_root);
+    ConstNodeView v(g->data(), config_.pool->page_size(), is_root);
     if (!v.IsValid()) return Status::Corruption("bad node magic");
     height = v.height();
     const uint32_t total = v.TotalBytes();
@@ -307,7 +314,7 @@ StatusOr<PositionalTree::SplitResult> PositionalTree::InsertRec(
   if (*prepared != child) {
     auto g = config_.pool->FixPage(meta_area_id(), page, FixMode::kRead);
     if (!g.ok()) return g.status();
-    NodeView v(g->data(), config_.pool->page_size(), is_root);
+    NodeView v(g->mutable_data(), config_.pool->page_size(), is_root);
     v.SetPage(idx, *prepared);
     g->MarkDirty();
   }
@@ -316,7 +323,7 @@ StatusOr<PositionalTree::SplitResult> PositionalTree::InsertRec(
   {
     auto g = config_.pool->FixPage(meta_area_id(), page, FixMode::kRead);
     if (!g.ok()) return g.status();
-    NodeView v(g->data(), config_.pool->page_size(), is_root);
+    NodeView v(g->mutable_data(), config_.pool->page_size(), is_root);
     v.AddBytes(idx, entry.bytes);
     if (res->split) v.AddBytes(idx, -static_cast<int64_t>(res->right_bytes));
     g->MarkDirty();
@@ -348,7 +355,7 @@ StatusOr<LeafEntry> PositionalTree::RemoveRec(PageId page, bool is_root,
   {
     auto g = config_.pool->FixPage(meta_area_id(), page, FixMode::kRead);
     if (!g.ok()) return g.status();
-    NodeView v(g->data(), config_.pool->page_size(), is_root);
+    ConstNodeView v(g->data(), config_.pool->page_size(), is_root);
     if (!v.IsValid()) return Status::Corruption("bad node magic");
     height = v.height();
     if (v.npairs() == 0 || rel >= v.TotalBytes()) {
@@ -361,7 +368,8 @@ StatusOr<LeafEntry> PositionalTree::RemoveRec(PageId page, bool is_root,
         return Status::Internal("leaf remove not at a leaf start");
       }
       LeafEntry removed{v.SubtreeBytes(idx), v.Page(idx)};
-      v.RemovePair(idx);
+      NodeView mv(g->mutable_data(), config_.pool->page_size(), is_root);
+      mv.RemovePair(idx);
       g->MarkDirty();
       return removed;
     }
@@ -373,7 +381,7 @@ StatusOr<LeafEntry> PositionalTree::RemoveRec(PageId page, bool is_root,
   if (*prepared != child) {
     auto g = config_.pool->FixPage(meta_area_id(), page, FixMode::kRead);
     if (!g.ok()) return g.status();
-    NodeView v(g->data(), config_.pool->page_size(), is_root);
+    NodeView v(g->mutable_data(), config_.pool->page_size(), is_root);
     v.SetPage(idx, *prepared);
     g->MarkDirty();
   }
@@ -383,12 +391,13 @@ StatusOr<LeafEntry> PositionalTree::RemoveRec(PageId page, bool is_root,
   {
     auto g = config_.pool->FixPage(meta_area_id(), page, FixMode::kRead);
     if (!g.ok()) return g.status();
-    NodeView v(g->data(), config_.pool->page_size(), is_root);
+    NodeView v(g->mutable_data(), config_.pool->page_size(), is_root);
     v.AddBytes(idx, -static_cast<int64_t>(removed->bytes));
     g->MarkDirty();
     auto cg = config_.pool->FixPage(meta_area_id(), *prepared, FixMode::kRead);
     if (!cg.ok()) return cg.status();
-    NodeView cv(cg->data(), config_.pool->page_size(), /*is_root=*/false);
+    ConstNodeView cv(cg->data(), config_.pool->page_size(),
+                     /*is_root=*/false);
     child_pairs = cv.npairs();
   }
   if (child_pairs < config_.limits.MinFill()) {
@@ -404,7 +413,7 @@ Status PositionalTree::RebalanceChild(PageId page, bool is_root, uint32_t idx,
   {
     auto g = config_.pool->FixPage(meta_area_id(), page, FixMode::kRead);
     if (!g.ok()) return g.status();
-    NodeView v(g->data(), config_.pool->page_size(), is_root);
+    ConstNodeView v(g->data(), config_.pool->page_size(), is_root);
     if (v.npairs() <= 1) return Status::OK();  // no sibling to draw from
     const uint32_t sib = idx > 0 ? idx - 1 : idx + 1;
     left_idx = std::min(idx, sib);
@@ -419,7 +428,7 @@ Status PositionalTree::RebalanceChild(PageId page, bool is_root, uint32_t idx,
   if (*lp != left_page || *rp != right_page) {
     auto g = config_.pool->FixPage(meta_area_id(), page, FixMode::kRead);
     if (!g.ok()) return g.status();
-    NodeView v(g->data(), config_.pool->page_size(), is_root);
+    NodeView v(g->mutable_data(), config_.pool->page_size(), is_root);
     v.SetPage(left_idx, *lp);
     v.SetPage(right_idx, *rp);
     g->MarkDirty();
@@ -429,12 +438,14 @@ Status PositionalTree::RebalanceChild(PageId page, bool is_root, uint32_t idx,
   {
     auto lg = config_.pool->FixPage(meta_area_id(), *lp, FixMode::kRead);
     if (!lg.ok()) return lg.status();
-    NodeView lv(lg->data(), config_.pool->page_size(), /*is_root=*/false);
+    ConstNodeView lv(lg->data(), config_.pool->page_size(),
+                     /*is_root=*/false);
     left_entries = GatherEntries(lv);
     child_height = lv.height();
     auto rg = config_.pool->FixPage(meta_area_id(), *rp, FixMode::kRead);
     if (!rg.ok()) return rg.status();
-    NodeView rv(rg->data(), config_.pool->page_size(), /*is_root=*/false);
+    ConstNodeView rv(rg->data(), config_.pool->page_size(),
+                     /*is_root=*/false);
     right_entries = GatherEntries(rv);
   }
   const uint32_t old_left_bytes = SumBytes(left_entries, 0,
@@ -449,14 +460,15 @@ Status PositionalTree::RebalanceChild(PageId page, bool is_root, uint32_t idx,
     {
       auto lg = config_.pool->FixPage(meta_area_id(), *lp, FixMode::kRead);
       if (!lg.ok()) return lg.status();
-      NodeView lv(lg->data(), config_.pool->page_size(), /*is_root=*/false);
+      NodeView lv(lg->mutable_data(), config_.pool->page_size(),
+                  /*is_root=*/false);
       WriteEntries(&lv, all, 0, all.size());
       lg->MarkDirty();
     }
     LOB_RETURN_IF_ERROR(FreeIndexPage(*rp));
     auto g = config_.pool->FixPage(meta_area_id(), page, FixMode::kRead);
     if (!g.ok()) return g.status();
-    NodeView v(g->data(), config_.pool->page_size(), is_root);
+    NodeView v(g->mutable_data(), config_.pool->page_size(), is_root);
     v.RemovePair(right_idx);
     v.AddBytes(left_idx, old_right_bytes);
     g->MarkDirty();
@@ -469,21 +481,23 @@ Status PositionalTree::RebalanceChild(PageId page, bool is_root, uint32_t idx,
   {
     auto lg = config_.pool->FixPage(meta_area_id(), *lp, FixMode::kRead);
     if (!lg.ok()) return lg.status();
-    NodeView lv(lg->data(), config_.pool->page_size(), /*is_root=*/false);
+    NodeView lv(lg->mutable_data(), config_.pool->page_size(),
+                /*is_root=*/false);
     WriteEntries(&lv, all, 0, new_left_n);
     lg->MarkDirty();
   }
   {
     auto rg = config_.pool->FixPage(meta_area_id(), *rp, FixMode::kRead);
     if (!rg.ok()) return rg.status();
-    NodeView rv(rg->data(), config_.pool->page_size(), /*is_root=*/false);
+    NodeView rv(rg->mutable_data(), config_.pool->page_size(),
+                /*is_root=*/false);
     WriteEntries(&rv, all, new_left_n, all.size() - new_left_n);
     rg->MarkDirty();
   }
   const uint32_t new_left_bytes = SumBytes(all, 0, new_left_n);
   auto g = config_.pool->FixPage(meta_area_id(), page, FixMode::kRead);
   if (!g.ok()) return g.status();
-  NodeView v(g->data(), config_.pool->page_size(), is_root);
+  NodeView v(g->mutable_data(), config_.pool->page_size(), is_root);
   const int64_t delta = static_cast<int64_t>(new_left_bytes) -
                         static_cast<int64_t>(old_left_bytes);
   v.AddBytes(left_idx, delta);
@@ -499,7 +513,8 @@ Status PositionalTree::MaybeCollapseRoot(PageId root, OpContext* ctx) {
     {
       auto g = config_.pool->FixPage(meta_area_id(), root, FixMode::kRead);
       if (!g.ok()) return g.status();
-      NodeView v(g->data(), config_.pool->page_size(), /*is_root=*/true);
+      ConstNodeView v(g->data(), config_.pool->page_size(),
+                      /*is_root=*/true);
       if (v.height() == 1 || v.npairs() != 1) return Status::OK();
       child = v.Page(0);
     }
@@ -508,7 +523,8 @@ Status PositionalTree::MaybeCollapseRoot(PageId root, OpContext* ctx) {
     {
       auto cg = config_.pool->FixPage(meta_area_id(), child, FixMode::kRead);
       if (!cg.ok()) return cg.status();
-      NodeView cv(cg->data(), config_.pool->page_size(), /*is_root=*/false);
+      ConstNodeView cv(cg->data(), config_.pool->page_size(),
+                       /*is_root=*/false);
       if (cv.npairs() > config_.limits.root_capacity) return Status::OK();
       entries = GatherEntries(cv);
       child_height = cv.height();
@@ -516,7 +532,8 @@ Status PositionalTree::MaybeCollapseRoot(PageId root, OpContext* ctx) {
     {
       auto g = config_.pool->FixPage(meta_area_id(), root, FixMode::kRead);
       if (!g.ok()) return g.status();
-      NodeView v(g->data(), config_.pool->page_size(), /*is_root=*/true);
+      NodeView v(g->mutable_data(), config_.pool->page_size(),
+                 /*is_root=*/true);
       v.set_height(child_height);
       WriteEntries(&v, entries, 0, entries.size());
       g->MarkDirty();
@@ -546,7 +563,7 @@ Status PositionalTree::UpdateRec(PageId page, bool is_root, uint64_t rel,
   {
     auto g = config_.pool->FixPage(meta_area_id(), page, FixMode::kRead);
     if (!g.ok()) return g.status();
-    NodeView v(g->data(), config_.pool->page_size(), is_root);
+    ConstNodeView v(g->data(), config_.pool->page_size(), is_root);
     if (!v.IsValid()) return Status::Corruption("bad node magic");
     height = v.height();
     if (v.npairs() == 0 || rel >= v.TotalBytes()) {
@@ -559,8 +576,9 @@ Status PositionalTree::UpdateRec(PageId page, bool is_root, uint64_t rel,
       if (new_bytes <= 0) {
         return Status::Internal("leaf update would empty the leaf");
       }
-      v.AddBytes(idx, delta);
-      if (new_page != kInvalidPage) v.SetPage(idx, new_page);
+      NodeView mv(g->mutable_data(), config_.pool->page_size(), is_root);
+      mv.AddBytes(idx, delta);
+      if (new_page != kInvalidPage) mv.SetPage(idx, new_page);
       g->MarkDirty();
       return Status::OK();
     }
@@ -574,7 +592,7 @@ Status PositionalTree::UpdateRec(PageId page, bool is_root, uint64_t rel,
       UpdateRec(*prepared, /*is_root=*/false, child_rel, delta, new_page, ctx));
   auto g = config_.pool->FixPage(meta_area_id(), page, FixMode::kRead);
   if (!g.ok()) return g.status();
-  NodeView v(g->data(), config_.pool->page_size(), is_root);
+  NodeView v(g->mutable_data(), config_.pool->page_size(), is_root);
   if (*prepared != child) v.SetPage(idx, *prepared);
   v.AddBytes(idx, delta);
   g->MarkDirty();
@@ -595,7 +613,7 @@ Status PositionalTree::VisitRec(
   {
     auto g = config_.pool->FixPage(meta_area_id(), page, FixMode::kRead);
     if (!g.ok()) return g.status();
-    NodeView v(g->data(), config_.pool->page_size(), is_root);
+    ConstNodeView v(g->data(), config_.pool->page_size(), is_root);
     if (!v.IsValid()) return Status::Corruption("bad node magic");
     height = v.height();
     entries = GatherEntries(v);
@@ -629,7 +647,7 @@ Status PositionalTree::VisitIndexPages(
         auto g = tree->config_.pool->FixPage(tree->meta_area_id(), page,
                                              FixMode::kRead);
         if (!g.ok()) return g.status();
-        NodeView v(g->data(), tree->config_.pool->page_size(), is_root);
+        ConstNodeView v(g->data(), tree->config_.pool->page_size(), is_root);
         if (!v.IsValid()) return Status::Corruption("bad node magic");
         if (v.height() > 1) {
           for (uint32_t i = 0; i < v.npairs(); ++i) {
@@ -648,14 +666,14 @@ Status PositionalTree::VisitIndexPages(
 StatusOr<uint32_t> PositionalTree::GetAux(PageId root) {
   auto g = config_.pool->FixPage(meta_area_id(), root, FixMode::kRead);
   if (!g.ok()) return g.status();
-  NodeView v(g->data(), config_.pool->page_size(), /*is_root=*/true);
+  ConstNodeView v(g->data(), config_.pool->page_size(), /*is_root=*/true);
   return v.aux();
 }
 
 Status PositionalTree::SetAux(PageId root, uint32_t value) {
   auto g = config_.pool->FixPage(meta_area_id(), root, FixMode::kRead);
   if (!g.ok()) return g.status();
-  NodeView v(g->data(), config_.pool->page_size(), /*is_root=*/true);
+  NodeView v(g->mutable_data(), config_.pool->page_size(), /*is_root=*/true);
   v.set_aux(value);
   g->MarkDirty();
   return Status::OK();
@@ -664,7 +682,7 @@ Status PositionalTree::SetAux(PageId root, uint32_t value) {
 StatusOr<uint8_t> PositionalTree::GetEngine(PageId root) {
   auto g = config_.pool->FixPage(meta_area_id(), root, FixMode::kRead);
   if (!g.ok()) return g.status();
-  NodeView v(g->data(), config_.pool->page_size(), /*is_root=*/true);
+  ConstNodeView v(g->data(), config_.pool->page_size(), /*is_root=*/true);
   if (!v.IsValid()) return Status::Corruption("bad root magic");
   return v.engine();
 }
@@ -677,7 +695,7 @@ Status PositionalTree::ValidateRec(PageId page, bool is_root,
   {
     auto g = config_.pool->FixPage(meta_area_id(), page, FixMode::kRead);
     if (!g.ok()) return g.status();
-    NodeView v(g->data(), config_.pool->page_size(), is_root);
+    ConstNodeView v(g->data(), config_.pool->page_size(), is_root);
     if (!v.IsValid()) return Status::Corruption("bad node magic");
     height = v.height();
     if (height != expect_height) {
@@ -729,7 +747,7 @@ StatusOr<PositionalTree::TreeStatsInfo> PositionalTree::Validate(PageId root) {
   {
     auto g = config_.pool->FixPage(meta_area_id(), root, FixMode::kRead);
     if (!g.ok()) return g.status();
-    NodeView v(g->data(), config_.pool->page_size(), /*is_root=*/true);
+    ConstNodeView v(g->data(), config_.pool->page_size(), /*is_root=*/true);
     if (!v.IsValid()) return Status::Corruption("bad root magic");
     stats.height = v.height();
   }

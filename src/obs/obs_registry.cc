@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <string_view>
 
 #include "common/csv.h"
 
@@ -57,12 +58,25 @@ uint64_t Histogram::BucketLowerBound(int i) {
 }
 
 void ObsRegistry::RecordOpEnd(const char* label, const IoStats& op_delta) {
-  ops_[label].count++;
-  const std::string base(label);
-  Histo(base + ".ms").Add(
+  // One heterogeneous lookup per op end; the label's ledger record and
+  // histogram destinations are resolved (and their name strings built)
+  // only the first time the label is seen.
+  auto it = op_end_memo_.find(std::string_view(label));
+  if (it == op_end_memo_.end()) {
+    const std::string base(label);
+    OpEndEntry e;
+    e.rec = &ops_[base];
+    e.ms = &Histo(base + ".ms");
+    e.seeks = &Histo(base + ".seeks");
+    e.pages = &Histo(base + ".pages");
+    it = op_end_memo_.emplace(base, e).first;
+  }
+  const OpEndEntry& e = it->second;
+  e.rec->count++;
+  e.ms->Add(
       static_cast<uint64_t>(std::llround(op_delta.ms < 0 ? 0 : op_delta.ms)));
-  Histo(base + ".seeks").Add(op_delta.Seeks());
-  Histo(base + ".pages").Add(op_delta.PagesTransferred());
+  e.seeks->Add(op_delta.Seeks());
+  e.pages->Add(op_delta.PagesTransferred());
 }
 
 IoStats ObsRegistry::AttributedTotal() const {
@@ -84,6 +98,8 @@ void ObsRegistry::Reset() {
   ops_.clear();
   counters_.clear();
   histograms_.clear();
+  op_end_memo_.clear();
+  ++attr_gen_;
 }
 
 std::string ObsRegistry::ToJson() const {

@@ -83,6 +83,16 @@ class ObsRegistry {
     ops_[label].io += call;
   }
 
+  /// Ledger record for `label` (created on first use). SimDisk caches the
+  /// returned pointer for the duration of an operation so attribution is
+  /// one map lookup per op instead of one per metered call; the pointer is
+  /// stable until the ledger is reset, which bumps the generation below.
+  OpRecord* AttributionRecord(const char* label) { return &ops_[label]; }
+
+  /// Incremented whenever the ledger is cleared; invalidates cached
+  /// AttributionRecord pointers.
+  uint64_t attribution_generation() const { return attr_gen_; }
+
   /// Records the end of one operation: bumps the label's count and feeds
   /// the per-op histograms (<label>.ms / .seeks / .pages). `op_delta` is
   /// the global-IoStats delta across the operation (nested scopes
@@ -108,7 +118,11 @@ class ObsRegistry {
   /// Drops the attribution ledger only (SimDisk::ResetStats calls this so
   /// the conservation invariant survives stats resets). Counters and
   /// histograms are kept: they are observability, not conservation state.
-  void ResetAttribution() { ops_.clear(); }
+  void ResetAttribution() {
+    ops_.clear();
+    op_end_memo_.clear();
+    ++attr_gen_;
+  }
 
   /// Drops everything.
   void Reset();
@@ -121,9 +135,21 @@ class ObsRegistry {
   std::string ToCsv() const;
 
  private:
+  /// Resolved destinations of one label's RecordOpEnd: the ledger record
+  /// plus the three per-op histograms. All pointers are map-node-stable;
+  /// the memo is cleared whenever ops_ is (Reset/ResetAttribution).
+  struct OpEndEntry {
+    OpRecord* rec = nullptr;
+    Histogram* ms = nullptr;
+    Histogram* seeks = nullptr;
+    Histogram* pages = nullptr;
+  };
+
   std::map<std::string, OpRecord> ops_;
   std::map<std::string, uint64_t> counters_;
   std::map<std::string, Histogram> histograms_;
+  std::map<std::string, OpEndEntry, std::less<>> op_end_memo_;
+  uint64_t attr_gen_ = 0;
 };
 
 }  // namespace lob

@@ -27,6 +27,8 @@
 #ifndef LOB_OBS_OP_SCOPE_H_
 #define LOB_OBS_OP_SCOPE_H_
 
+#include <cstring>
+#include <memory>
 #include <string>
 
 #include "iomodel/sim_disk.h"
@@ -44,10 +46,22 @@ class OpScope {
       : disk_(disk), prev_(disk->current_op()), start_(disk->stats()) {
     if (prev_ != nullptr) {
       // Nested scope: compose the call path into the effective label.
-      composed_.reserve(std::char_traits<char>::length(prev_) + 1 +
-                        std::char_traits<char>::length(label));
-      composed_.append(prev_).append(1, '.').append(label);
-      label_ = composed_.c_str();
+      // Composition happens once per op on the hot path, so the common
+      // case lands in the inline buffer; only pathologically deep
+      // nesting pays for heap backing.
+      const size_t prev_len = std::char_traits<char>::length(prev_);
+      const size_t label_len = std::char_traits<char>::length(label);
+      const size_t total = prev_len + 1 + label_len;
+      char* buf = inline_buf_;
+      if (total + 1 > sizeof(inline_buf_)) {
+        heap_buf_ = std::make_unique<char[]>(total + 1);
+        buf = heap_buf_.get();
+      }
+      std::memcpy(buf, prev_, prev_len);
+      buf[prev_len] = '.';
+      std::memcpy(buf + prev_len + 1, label, label_len);
+      buf[total] = '\0';
+      label_ = buf;
     } else {
       label_ = label;
     }
@@ -80,7 +94,10 @@ class OpScope {
   SimDisk* disk_;
   const char* label_;
   const char* prev_;
-  std::string composed_;  ///< backing store for nested "parent.child" labels
+  /// Backing store for nested "parent.child" labels: inline for typical
+  /// depths, heap only when the composed path outgrows the buffer.
+  char inline_buf_[128];
+  std::unique_ptr<char[]> heap_buf_;
   IoStats start_;
 #if LOB_TRACING
   TraceSession* session_ = nullptr;

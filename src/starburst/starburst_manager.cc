@@ -48,7 +48,7 @@ StatusOr<ObjectId> StarburstManager::Create() {
   auto g = sys_->pool()->FixPage(sys_->meta_area()->id(), ext->first_page(),
                                  FixMode::kNew);
   if (!g.ok()) return g.status();  // guard reclaims the descriptor page
-  StoreU32(g->data(), kDescriptorMagic);
+  StoreU32(g->mutable_data(), kDescriptorMagic);
   g->MarkDirty();
   ext->Commit();
   return ext->first_page();
@@ -82,7 +82,7 @@ Status StarburstManager::Save(ObjectId id, const Descriptor& d) {
   }
   auto g = sys_->pool()->FixPage(sys_->meta_area()->id(), id, FixMode::kRead);
   if (!g.ok()) return g.status();
-  char* p = g->data();
+  char* p = g->mutable_data();
   StoreU32(p, kDescriptorMagic);
   StoreU32(p + 4, d.used_bytes);
   StoreU32(p + 8, d.first_pages);
@@ -254,7 +254,7 @@ Status StarburstManager::Append(ObjectId id, std::string_view data) {
   OpScope obs_scope(sys_->disk(), "starburst.append");
   auto d = Load(id);
   if (!d.ok()) return d.status();
-  OpContext ctx(sys_->pool());
+  OpContext ctx(sys_->pool(), sys_->arena());
   std::vector<ScopedExtent> fresh;
   std::vector<Segment> to_free;
   LOB_RETURN_IF_ERROR(AppendLocked(id, &d.value(), data, &ctx, &fresh,
@@ -352,7 +352,7 @@ Status StarburstManager::SpliceBytes(ObjectId id, uint64_t offset,
   if (offset + deleted > d->used_bytes) {
     return Status::OutOfRange("update past object end");
   }
-  OpContext ctx(sys_->pool());
+  OpContext ctx(sys_->pool(), sys_->arena());
   auto map = MapSegments(*d);
   // Segment containing the start byte (tail copy) or 0 (full copy).
   size_t k = 0;
@@ -422,7 +422,7 @@ Status StarburstManager::Replace(ObjectId id, uint64_t offset,
   if (offset + data.size() > d->used_bytes) {
     return Status::OutOfRange("replace past object end");
   }
-  OpContext ctx(sys_->pool());
+  OpContext ctx(sys_->pool(), sys_->arena());
   auto map = MapSegments(*d);
   std::vector<ScopedExtent> fresh;
   std::vector<Segment> to_free;

@@ -41,16 +41,16 @@ const char* KindCategory(SpanKind kind) {
 
 }  // namespace
 
-uint32_t TraceSession::InternName(const std::string& name) {
+uint32_t TraceSession::InternName(std::string_view name) {
   auto it = name_ids_.find(name);
   if (it != name_ids_.end()) return it->second;
   const uint32_t id = static_cast<uint32_t>(names_.size());
-  names_.push_back(name);
-  name_ids_.emplace(name, id);
+  names_.emplace_back(name);
+  name_ids_.emplace(std::string(name), id);
   return id;
 }
 
-size_t TraceSession::BeginSpan(const std::string& name, SpanKind kind,
+size_t TraceSession::BeginSpan(std::string_view name, SpanKind kind,
                                double now_ms) {
   Event e;
   e.name_id = InternName(name);

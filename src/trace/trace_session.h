@@ -34,6 +34,7 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -65,13 +66,15 @@ class TraceSession {
   TraceSession(const TraceSession&) = delete;
   TraceSession& operator=(const TraceSession&) = delete;
 
-  /// Interns `name`, returning a stable id for Event::name_id.
-  uint32_t InternName(const std::string& name);
+  /// Interns `name`, returning a stable id for Event::name_id. Takes a
+  /// view so the hot path (span sites passing literals or label buffers)
+  /// allocates only on first sight of a name.
+  uint32_t InternName(std::string_view name);
   const std::string& Name(uint32_t id) const { return names_[id]; }
 
   /// Opens a span at modeled time `now_ms`; returns its event index for
   /// the matching EndSpan. Spans must close in LIFO order (checked).
-  size_t BeginSpan(const std::string& name, SpanKind kind, double now_ms);
+  size_t BeginSpan(std::string_view name, SpanKind kind, double now_ms);
   void EndSpan(size_t index, double now_ms);
 
   /// Records one metered disk call as a "disk.io" leaf under the
@@ -118,7 +121,7 @@ class TraceSession {
 
  private:
   std::vector<std::string> names_;
-  std::map<std::string, uint32_t> name_ids_;
+  std::map<std::string, uint32_t, std::less<>> name_ids_;
   std::vector<Event> events_;
   std::vector<size_t> stack_;  ///< indices of currently open spans
   uint32_t io_name_id_ = UINT32_MAX;  ///< interned "disk.io", lazily

@@ -26,50 +26,52 @@ void FillBytes(Rng* rng, uint64_t n, std::string* out, NoZeroInit) {
   // Hot-path variant: produces exactly the byte stream (and Rng
   // consumption) of the overload above, but growth past the current size
   // is appended from a filled stack block, so the tail is written once
-  // instead of zeroed by resize() and then overwritten.
+  // instead of zeroed by resize() and then overwritten. The common case
+  // (a reused buffer already at capacity) is a straight word-store loop.
   if (out->size() > n) out->resize(n);  // shrink; capacity is retained
-  out->reserve(n);
+  out->reserve(n);  // appends below never reallocate, so data() is stable
   const uint64_t in_place = out->size();
-  uint64_t i = 0;           // global write position
-  char block[1024];         // staging for the appended tail
-  size_t staged = 0;
-  const auto emit = [&](const char* p, uint64_t len) {
-    while (len > 0) {
-      if (i < in_place) {  // overwrite the existing prefix directly
-        const uint64_t take = std::min(len, in_place - i);
-        std::memcpy(out->data() + i, p, take);
-        i += take;
-        p += take;
-        len -= take;
-      } else {  // stage and append without value-initialization
-        if (staged == sizeof(block)) {
-          out->append(block, staged);
-          staged = 0;
-        }
-        const uint64_t take =
-            std::min<uint64_t>(len, sizeof(block) - staged);
-        std::memcpy(block + staged, p, take);
-        staged += take;
-        i += take;
-        p += take;
-        len -= take;
-      }
-    }
-  };
-  uint64_t produced = 0;
-  while (produced + 8 <= n) {
+  char* dst = out->data();
+  const uint64_t word_bytes = n & ~uint64_t{7};
+  uint64_t i = 0;
+  // Words that land entirely inside the existing buffer: store directly.
+  const uint64_t direct = std::min(in_place & ~uint64_t{7}, word_bytes);
+  for (; i < direct; i += 8) {
+    const uint64_t v = rng->Next();
+    std::memcpy(dst + i, &v, 8);
+  }
+  // At most one word straddles the in-place/appended boundary.
+  if (i < word_bytes && i < in_place) {
     const uint64_t v = rng->Next();
     char word[8];
     std::memcpy(word, &v, 8);
-    emit(word, 8);
-    produced += 8;
+    const uint64_t head = in_place - i;
+    std::memcpy(dst + i, word, head);
+    out->append(word + head, 8 - head);
+    i += 8;
   }
-  while (produced < n) {
+  // Appended words, staged a block at a time.
+  char block[1024];
+  while (i < word_bytes) {
+    const size_t take =
+        static_cast<size_t>(std::min<uint64_t>(sizeof(block), word_bytes - i));
+    for (size_t k = 0; k < take; k += 8) {
+      const uint64_t v = rng->Next();
+      std::memcpy(block + k, &v, 8);
+    }
+    out->append(block, take);
+    i += take;
+  }
+  // Sub-word tail: one draw per byte, as in the overload above.
+  while (i < n) {
     const char c = static_cast<char>(rng->Next() & 0xff);
-    emit(&c, 1);
-    produced += 1;
+    if (i < in_place) {
+      dst[i] = c;
+    } else {
+      out->push_back(c);
+    }
+    ++i;
   }
-  if (staged > 0) out->append(block, staged);
 }
 
 StatusOr<PhaseResult> BuildObject(StorageSystem* sys, LargeObjectManager* mgr,

@@ -65,7 +65,7 @@ TEST_F(BufferPoolTest, DirtyPageWrittenBackOnEviction) {
   for (PageId p = 0; p < 12; ++p) {
     auto g = pool_.FixPage(area_, p, FixMode::kNew);
     ASSERT_TRUE(g.ok());
-    g->data()[0] = static_cast<char>(p + 1);
+    g->mutable_data()[0] = static_cast<char>(p + 1);
     g->MarkDirty();
   }
   EXPECT_EQ(disk_.stats().write_calls, 0u);
@@ -267,7 +267,7 @@ TEST_F(BufferPoolTest, FlushAllWritesEveryDirtyPage) {
   for (PageId p : {2u, 3u, 9u}) {
     auto g = pool_.FixPage(area_, p, FixMode::kNew);
     ASSERT_TRUE(g.ok());
-    g->data()[0] = 'F';
+    g->mutable_data()[0] = 'F';
     g->MarkDirty();
   }
   ASSERT_TRUE(pool_.FlushAll().ok());
@@ -336,13 +336,13 @@ TEST_F(BufferPoolTest, FlushRunInterleavedCleanAndEvictedPages) {
   for (PageId p : {0u, 1u, 3u, 4u, 6u}) {
     auto g = pool_.FixPage(area_, p, FixMode::kNew);
     ASSERT_TRUE(g.ok());
-    g->data()[0] = static_cast<char>('a' + p);
+    g->mutable_data()[0] = static_cast<char>('a' + p);
     g->MarkDirty();
   }
   {
     auto g = pool_.FixPage(area_, 2, FixMode::kNew);
     ASSERT_TRUE(g.ok());
-    g->data()[0] = 'c';
+    g->mutable_data()[0] = 'c';
     g->MarkDirty();
   }
   ASSERT_TRUE(pool_.FlushRun(area_, 2, 1).ok());  // page 2 now clean, cached

@@ -63,7 +63,7 @@ class FsckTest : public ::testing::Test {
   void PokePage(PageId page, size_t off, const void* bytes, size_t n) {
     auto g = sys_.pool()->FixPage(sys_.meta_area()->id(), page, FixMode::kRead);
     LOB_CHECK_OK(g.status());
-    std::memcpy(g->data() + off, bytes, n);
+    std::memcpy(g->mutable_data() + off, bytes, n);
     g->MarkDirty();
     g->Release();
     LOB_CHECK_OK(sys_.pool()->FlushRun(sys_.meta_area()->id(), page, 1));
@@ -233,7 +233,7 @@ TEST_F(FsckTest, WrongEsmTreeCountDetected) {
     auto g =
         sys_.pool()->FixPage(sys_.meta_area()->id(), id, FixMode::kRead);
     ASSERT_TRUE(g.ok());
-    NodeView root(g->data(), sys_.config().page_size, /*is_root=*/true);
+    NodeView root(g->mutable_data(), sys_.config().page_size, /*is_root=*/true);
     ASSERT_GT(root.npairs(), 0u);
     const uint32_t last = root.npairs() - 1;
     // Push the last leaf's implied byte count past the leaf capacity

@@ -17,7 +17,7 @@ class OpContextTest : public ::testing::Test {
   void StageDirty(PageId page, char fill) {
     auto g = pool_.FixPage(area_, page, FixMode::kNew);
     LOB_CHECK_OK(g.status());
-    g->data()[0] = fill;
+    g->mutable_data()[0] = fill;
     g->MarkDirty();
   }
 

@@ -239,7 +239,7 @@ TEST(CorruptionDetection, TreeRejectsClobberedNodes) {
   {
     auto g = sys.pool()->FixPage(sys.meta_area()->id(), *id, FixMode::kRead);
     ASSERT_TRUE(g.ok());
-    std::memset(g->data(), 0xAB, 64);
+    std::memset(g->mutable_data(), 0xAB, 64);
     g->MarkDirty();
   }
   EXPECT_EQ(mgr.Validate(*id).code(), StatusCode::kCorruption);
@@ -256,7 +256,7 @@ TEST(CorruptionDetection, StarburstRejectsClobberedDescriptor) {
   {
     auto g = sys.pool()->FixPage(sys.meta_area()->id(), *id, FixMode::kRead);
     ASSERT_TRUE(g.ok());
-    std::memset(g->data(), 0xCD, 16);
+    std::memset(g->mutable_data(), 0xCD, 16);
     g->MarkDirty();
   }
   std::string out;

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/factory.h"
+#include "core/metrics_snapshot.h"
 #include "core/storage_system.h"
 #include "exec/bench_profile.h"
 #include "exec/parallel_runner.h"
@@ -238,6 +239,15 @@ class BenchEngine {
 
   const BenchProfile& profile() const { return profile_; }
 
+  /// Index the next Map() call's first cell will get in the profile;
+  /// pair with SetCellSnapshot to attach per-cell snapshots afterwards.
+  size_t next_cell_index() const { return profile_.cells().size(); }
+
+  /// Attaches a metrics-snapshot JSON block to profile cell `index`.
+  void SetCellSnapshot(size_t index, std::string snapshot_json) {
+    profile_.SetCellSnapshot(index, std::move(snapshot_json));
+  }
+
  private:
   ThreadPool pool_;
   ParallelRunner runner_;
@@ -252,6 +262,11 @@ struct MixRun {
   std::vector<MixPoint> points;
   double final_utilization = 0;
   double modeled_ms = 0;  ///< total modeled I/O (build + mix) of the cell
+  /// Schema-v2 metrics snapshot of the cell's StorageSystem (percentile
+  /// table, pool/allocator/fault state), captured before the system is
+  /// torn down. Pure modeled state: byte-identical for any --jobs. The
+  /// indentation matches the "cells" nesting of BENCH_*.json.
+  std::string snapshot_json;
 };
 
 /// Builds an object (100K appends, mirroring a bulk load) and runs the
@@ -288,6 +303,7 @@ inline MixRun RunMixFor(const EngineSpec& spec, uint64_t object_bytes,
   run.final_utilization = points->empty() ? 1.0
                                           : points->back().utilization;
   run.modeled_ms = sys.stats().ms;
+  run.snapshot_json = MetricsSnapshot::Collect(&sys).ToJson("    ");
   if (out != nullptr) out->SetModeledMs(run.modeled_ms);
   return run;
 }

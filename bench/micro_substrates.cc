@@ -167,7 +167,11 @@ struct CellResult {
   double pages = 0;  ///< modeled pages transferred by the cell
 };
 
-CellResult RunThroughputCell(const bench::EngineSpec& spec, uint64_t seed) {
+// `agg` accumulates every cell's registry (ledger + histograms + pool
+// counters) so the profile can embed one aggregate metrics snapshot
+// covering all three engines' op labels.
+CellResult RunThroughputCell(const bench::EngineSpec& spec, uint64_t seed,
+                             ObsRegistry* agg) {
   // LOBLINT(wallclock): cell-throughput self-timing; the wall clock
   // feeds BENCH_*.json metrics, never modeled output.
   const auto t0 = std::chrono::steady_clock::now();
@@ -185,6 +189,8 @@ CellResult RunThroughputCell(const bench::EngineSpec& spec, uint64_t seed) {
   mix.seed = 7 + seed;
   auto points = RunUpdateMix(&sys, mgr.get(), *id, mix);
   LOB_CHECK_OK(points.status());
+  sys.pool()->PublishCounters(sys.obs());
+  agg->MergeFrom(*sys.obs());
   // LOBLINT(wallclock): see above.
   const auto t1 = std::chrono::steady_clock::now();
   CellResult r;
@@ -206,13 +212,19 @@ int RunCellThroughput(uint32_t n_cells, const std::string& json_path) {
                        BenchProfile::MakeHostNote());
   double wall_ms = 0;
   double pages = 0;
+  ObsRegistry agg;
   for (uint32_t i = 0; i < n_cells; ++i) {
     const bench::EngineSpec& spec = specs[i % specs.size()];
-    const CellResult r = RunThroughputCell(spec, i);
+    const CellResult r = RunThroughputCell(spec, i, &agg);
     profile.AddCell(spec.label + " #" + std::to_string(i), r.wall_ms, 0);
     wall_ms += r.wall_ms;
     pages += r.pages;
   }
+  // Schema v2: one aggregate snapshot over every cell's registry — the
+  // per-op percentile table spans all three engines, and the CI
+  // bench-diff gate reads its p99_ms columns. Purely modeled state,
+  // byte-identical run to run.
+  profile.set_snapshot_json(MetricsSnapshot::FromRegistry(agg).ToJson("  "));
   const double secs = wall_ms / 1000.0;
   const double cells_per_sec = secs > 0 ? n_cells / secs : 0;
   const double pages_per_sec = secs > 0 ? pages / secs : 0;

@@ -93,6 +93,7 @@ inline int RunMixFigure(int argc, char** argv, const char* title,
   }
 
   BenchEngine engine(BenchNameFromTitle(title), args);
+  const size_t first_cell = engine.next_cell_index();
   Mapped<MixRun> runs = engine.Map<MixRun>(
       cell_labels, [&](size_t i, JobOutput* out) {
         const Cell& cell = cells[i];
@@ -100,6 +101,12 @@ inline int RunMixFigure(int argc, char** argv, const char* title,
                          args.ops, args.window, args.obs, out,
                          traces[i].get(), timelines[i].get());
       });
+  // Schema v2: each cell carries the metrics snapshot its job captured
+  // (values come back in submission order, so cell indices line up).
+  for (size_t i = 0; i < cells.size(); ++i) {
+    engine.SetCellSnapshot(first_cell + i,
+                           std::move(runs.values[i].snapshot_json));
+  }
 
   if (!args.trace.empty()) {
     std::vector<std::pair<std::string, const TraceSession*>> sessions;

@@ -1,42 +1,38 @@
 #!/usr/bin/env python3
-"""CI perf-smoke gate: single-thread cell throughput vs the baseline.
+"""CI perf-smoke gate: thin wrapper over ``lobtool bench-diff``.
 
-Compares the fresh ``metrics.cells_per_sec`` in
-``results/BENCH_micro_substrates.json`` (written by
-``scripts/bench_wall.sh``, or directly by
-``micro_substrates --cells=N --bench-json=...``) against the committed
-baseline ``results/BENCH_micro_baseline.json`` and fails when throughput
-regressed by more than the tolerance (default 20%).
+Runs ``lobtool bench-diff <baseline> <fresh> --gate=<gates>`` so the
+gate logic (metric flattening, glob fan-out over per-op p99 columns,
+rotted-gate detection) lives in one audited C++ implementation instead
+of being re-derived here. The default gate file,
+``scripts/perf_gates.json``, holds the line on two axes:
 
-The baseline is a wall-clock number, so it only means something on
-comparable hardware. Refresh it deliberately (copy the fresh profile
-over the baseline file in the same PR that changes performance) rather
-than letting it drift; the committed file records hardware_concurrency
-and the LOB_BENCH_HOST_NOTE of the machine that produced it.
+* ``metrics.cells_per_sec`` (wall clock, higher-better, 20% tolerance) —
+  only meaningful on comparable hardware; the committed baseline records
+  ``hardware_concurrency`` and LOB_BENCH_HOST_NOTE of its machine.
+* ``metrics_snapshot.ops.*.p99_ms`` (modeled, lower-better, 5%) —
+  deterministic tail cost per op label across all three engines; any
+  drift here is a real algorithmic change, not noise.
+
+Refresh the baseline deliberately (copy the fresh profile over
+``results/BENCH_micro_baseline.json`` in the same PR that changes
+performance) rather than letting it drift.
 
 Usage: scripts/check_perf.py [--fresh PATH] [--baseline PATH]
+                             [--gate PATH] [--lobtool PATH]
                              [--tolerance FRACTION]
-Exit codes: 0 ok, 1 regression, 2 missing/invalid inputs.
+``--tolerance`` overrides the cell-throughput gate's max_regression via
+a patched temporary gate file (kept for compatibility with older CI
+invocations).
+Exit codes: 0 ok, 1 regression/violation, 2 missing/invalid inputs.
 """
 
 import argparse
 import json
+import os
+import subprocess
 import sys
-
-
-def load_cells_per_sec(path):
-    try:
-        with open(path) as f:
-            profile = json.load(f)
-    except (OSError, ValueError) as e:
-        print(f"check_perf: cannot read {path}: {e}", file=sys.stderr)
-        sys.exit(2)
-    try:
-        return float(profile["metrics"]["cells_per_sec"]), profile
-    except (KeyError, TypeError):
-        print(f"check_perf: {path} has no metrics.cells_per_sec",
-              file=sys.stderr)
-        sys.exit(2)
+import tempfile
 
 
 def main():
@@ -45,28 +41,55 @@ def main():
                         default="results/BENCH_micro_substrates.json")
     parser.add_argument("--baseline",
                         default="results/BENCH_micro_baseline.json")
-    parser.add_argument("--tolerance", type=float, default=0.20,
-                        help="allowed fractional regression (default 0.20)")
+    parser.add_argument("--gate", default="scripts/perf_gates.json")
+    parser.add_argument("--lobtool", default="build/tools/lobtool",
+                        help="path to the lobtool binary")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="override the cell-throughput gate's "
+                             "max_regression")
     args = parser.parse_args()
 
-    fresh, fresh_profile = load_cells_per_sec(args.fresh)
-    base, base_profile = load_cells_per_sec(args.baseline)
-    if base <= 0:
-        print("check_perf: baseline cells_per_sec is not positive",
-              file=sys.stderr)
+    if not os.path.exists(args.lobtool):
+        print(f"check_perf: lobtool not found at {args.lobtool} "
+              "(build the tree first)", file=sys.stderr)
         sys.exit(2)
+    for path in (args.fresh, args.baseline, args.gate):
+        if not os.path.exists(path):
+            print(f"check_perf: missing {path}", file=sys.stderr)
+            sys.exit(2)
 
-    floor = base * (1.0 - args.tolerance)
-    ratio = fresh / base
-    host = base_profile.get("host_note", "")
-    print(f"cell throughput: fresh {fresh:.2f} cells/sec vs baseline "
-          f"{base:.2f} ({ratio:.2f}x, floor {floor:.2f})"
-          + (f" [baseline host: {host}]" if host else ""))
-    if fresh < floor:
-        print(f"check_perf: FAIL: regressed more than "
-              f"{args.tolerance:.0%} vs committed baseline", file=sys.stderr)
-        sys.exit(1)
-    print("check_perf: OK")
+    gate_path = args.gate
+    tmp = None
+    if args.tolerance is not None:
+        try:
+            with open(args.gate) as f:
+                gates = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"check_perf: cannot read {args.gate}: {e}",
+                  file=sys.stderr)
+            sys.exit(2)
+        for gate in gates.get("gates", []):
+            if gate.get("name") == "cell-throughput":
+                gate["max_regression"] = args.tolerance
+        tmp = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False)
+        json.dump(gates, tmp)
+        tmp.close()
+        gate_path = tmp.name
+
+    try:
+        proc = subprocess.run(
+            [args.lobtool, "bench-diff", args.baseline, args.fresh,
+             f"--gate={gate_path}"])
+    finally:
+        if tmp is not None:
+            os.unlink(tmp.name)
+    if proc.returncode == 0:
+        print("check_perf: OK")
+    else:
+        print(f"check_perf: FAIL (lobtool bench-diff exit "
+              f"{proc.returncode})", file=sys.stderr)
+    sys.exit(proc.returncode)
 
 
 if __name__ == "__main__":

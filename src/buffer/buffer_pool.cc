@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "obs/obs_registry.h"
 #include "trace/trace_span.h"
 
 namespace lob {
@@ -88,6 +89,7 @@ Status BufferPool::EvictSlot(uint32_t slot) {
   Frame& f = frames_[slot];
   if (!f.valid) return Status::OK();
   if (f.pins != 0) return Status::Internal("evicting pinned page");
+  evictions_++;
   if (f.dirty) {
     LOB_TRACE_SPAN(disk_, "pool.evict");
     LOB_RETURN_IF_ERROR(disk_->Write(f.area, f.page, 1, SlotData(slot)));
@@ -587,6 +589,7 @@ BufferPool::State BufferPool::SaveState() const {
   state.tick = tick_;
   state.hits = hits_;
   state.misses = misses_;
+  state.evictions = evictions_;
   return state;
 }
 
@@ -601,6 +604,13 @@ void BufferPool::RestoreState(const State& state) {
   tick_ = state.tick;
   hits_ = state.hits;
   misses_ = state.misses;
+  evictions_ = state.evictions;
+}
+
+void BufferPool::PublishCounters(ObsRegistry* obs) const {
+  obs->Counter("pool.fix_hits") = hits_;
+  obs->Counter("pool.fix_misses") = misses_;
+  obs->Counter("pool.evictions") = evictions_;
 }
 
 }  // namespace lob

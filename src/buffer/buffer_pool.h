@@ -41,6 +41,7 @@
 namespace lob {
 
 class BufferPool;
+class ObsRegistry;
 
 /// RAII pin on one page frame. Movable, not copyable; unpins on destruction.
 class PageGuard {
@@ -144,6 +145,15 @@ class BufferPool {
   /// Number of FixPage calls served without disk I/O (for tests/metrics).
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  /// Number of valid frames evicted to make room (dirty or clean).
+  uint64_t evictions() const { return evictions_; }
+
+  /// Copies the pool counters into `obs` as the `pool.fix_hits`,
+  /// `pool.fix_misses` and `pool.evictions` counters (overwriting, not
+  /// accumulating, so repeated exports stay idempotent). The counters
+  /// live here as plain fields to keep FixPage off the registry's map
+  /// lookups; exporters call this at snapshot time instead.
+  void PublishCounters(ObsRegistry* obs) const;
 
   /// One entry of the ordered cached-page enumeration below.
   struct CachedPage {
@@ -228,6 +238,7 @@ class BufferPool {
   uint64_t tick_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
 
  public:
   /// Opaque snapshot of the cached state: page contents, frame table,
@@ -249,6 +260,7 @@ class BufferPool {
     uint64_t tick = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t evictions = 0;
   };
   State SaveState() const;
   void RestoreState(const State& state);

@@ -53,7 +53,8 @@ double BenchProfile::CellModeledMsTotal() const {
 std::string BenchProfile::ToJson() const {
   std::string out = "{\n  \"bench\": \"";
   AppendEscaped(bench_, &out);
-  out += "\",\n  \"jobs\": " + std::to_string(jobs_);
+  out += "\",\n  \"schema_version\": " + std::to_string(kSchemaVersion);
+  out += ",\n  \"jobs\": " + std::to_string(jobs_);
   out += ",\n  \"hardware_concurrency\": " +
          std::to_string(hardware_concurrency_);
   out += ",\n  \"host_note\": \"";
@@ -75,6 +76,9 @@ std::string BenchProfile::ToJson() const {
     }
     out += "}";
   }
+  if (!snapshot_json_.empty()) {
+    out += ",\n  \"metrics_snapshot\": " + snapshot_json_;
+  }
   out += ",\n  \"cells\": [";
   for (size_t i = 0; i < cells_.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";
@@ -84,6 +88,9 @@ std::string BenchProfile::ToJson() const {
     AppendNumber(cells_[i].wall_ms, &out);
     out += ", \"modeled_ms\": ";
     AppendNumber(cells_[i].modeled_ms, &out);
+    if (!cells_[i].snapshot_json.empty()) {
+      out += ", \"metrics_snapshot\": " + cells_[i].snapshot_json;
+    }
     out += "}";
   }
   out += "\n  ]\n}\n";

@@ -21,10 +21,19 @@ namespace lob {
 /// thread after the fan-out completes, in submission order.
 class BenchProfile {
  public:
+  /// BENCH_*.json schema version. v2 added "schema_version" itself plus
+  /// the optional embedded metrics-snapshot blocks (per cell and
+  /// profile-level); v1 files simply lack those keys, so v1 consumers
+  /// keep working and bench-diff reports the new keys as one-sided.
+  static constexpr int kSchemaVersion = 2;
+
   struct Cell {
     std::string config;  ///< e.g. "mean_op=10000/ESM leaf=4"
     double wall_ms = 0;
     double modeled_ms = 0;
+    /// Raw MetricsSnapshot::ToJson output (optional; "" = absent).
+    /// Purely modeled state: byte-identical for any --jobs.
+    std::string snapshot_json;
   };
 
   /// `hardware_concurrency` and the optional host note (from the
@@ -44,7 +53,18 @@ class BenchProfile {
   static std::string MakeHostNote();
 
   void AddCell(std::string config, double wall_ms, double modeled_ms) {
-    cells_.push_back(Cell{std::move(config), wall_ms, modeled_ms});
+    cells_.push_back(Cell{std::move(config), wall_ms, modeled_ms, ""});
+  }
+
+  /// Attaches a metrics-snapshot JSON block to cell `index` (as added,
+  /// in submission order). The string must be a complete JSON value.
+  void SetCellSnapshot(size_t index, std::string snapshot_json) {
+    cells_[index].snapshot_json = std::move(snapshot_json);
+  }
+
+  /// Profile-level aggregate snapshot (e.g. all cells' registries merged).
+  void set_snapshot_json(std::string snapshot_json) {
+    snapshot_json_ = std::move(snapshot_json);
   }
 
   /// Named scalar metric (e.g. "cells_per_sec") emitted under "metrics".
@@ -81,6 +101,7 @@ class BenchProfile {
   double suite_wall_ms_ = 0;
   std::vector<Cell> cells_;
   std::vector<std::pair<std::string, double>> metrics_;
+  std::string snapshot_json_;
 };
 
 }  // namespace lob

@@ -136,6 +136,7 @@ Status SimDisk::CheckFaults(bool is_read, AreaId area, PageId first,
       case FaultKind::kSticky:
         break;
     }
+    ++faults_fired_;
     return Status::Internal(f.spec.message);
   }
   // Second pass: the call succeeds; advance every matching countdown.

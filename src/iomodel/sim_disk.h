@@ -162,6 +162,12 @@ class SimDisk {
   /// clock stands.
   uint64_t foreground_calls() const { return foreground_calls_; }
 
+  /// Armed faults that have fired (failed a foreground call) since
+  /// construction. Like foreground_calls() this is never reset; the
+  /// metrics snapshot exports it so fault-campaign cells show their
+  /// injected-failure count alongside the cost numbers.
+  uint64_t faults_fired() const { return faults_fired_; }
+
   /// Legacy single-knob injection (tests): after `calls` further
   /// attributed foreground I/O calls, every such call fails with
   /// Internal until cleared with a negative value. Implemented as a
@@ -255,6 +261,7 @@ class SimDisk {
   IoStats stats_;
   std::vector<ArmedFault> faults_;
   uint64_t foreground_calls_ = 0;
+  uint64_t faults_fired_ = 0;
   ObsRegistry* obs_ = nullptr;
   TraceSession* trace_ = nullptr;
   const char* current_op_ = nullptr;

@@ -1,0 +1,143 @@
+#include "obs/flame.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lob {
+
+namespace {
+
+/// Walks the tree in sorted order, visiting every node with its
+/// semicolon-joined path.
+template <typename Fn>
+void Visit(const std::map<std::string, FlameNode>& nodes,
+           const std::string& prefix, Fn&& fn) {
+  for (const auto& [suffix, node] : nodes) {
+    const std::string path =
+        prefix.empty() ? suffix : prefix + ";" + suffix;
+    fn(path, node);
+    Visit(node.children, path, fn);
+  }
+}
+
+/// Collects every node keyed by full ledger label.
+void CollectByLabel(const std::map<std::string, FlameNode>& nodes,
+                    std::map<std::string, const FlameNode*>* out) {
+  for (const auto& [suffix, node] : nodes) {
+    (*out)[node.label] = &node;
+    CollectByLabel(node.children, out);
+  }
+}
+
+}  // namespace
+
+double FlameNode::TotalMs() const {
+  double total = self_ms;
+  for (const auto& [suffix, child] : children) total += child.TotalMs();
+  return total;
+}
+
+FlameGraph FlameGraph::Build(const ObsRegistry& obs) {
+  FlameGraph g;
+  // ops() is sorted, so every proper dotted prefix of a label sorts
+  // before it: by the time L is placed, its parent chain already exists
+  // in the tree and node_by_label resolves the longest observed prefix.
+  std::map<std::string, FlameNode*> node_by_label;
+  for (const auto& [label, rec] : obs.ops()) {
+    // Longest observed label P such that label == P + "." + suffix.
+    FlameNode* parent = nullptr;
+    std::string::size_type best = 0;
+    for (const auto& [plabel, pnode] : node_by_label) {
+      if (plabel.size() > best && plabel.size() < label.size() &&
+          label.compare(0, plabel.size(), plabel) == 0 &&
+          label[plabel.size()] == '.') {
+        parent = pnode;
+        best = plabel.size();
+      }
+    }
+    const std::string suffix =
+        parent == nullptr ? label : label.substr(best + 1);
+    FlameNode& node =
+        parent == nullptr ? g.roots_[suffix] : parent->children[suffix];
+    node.label = label;
+    node.count = rec.count;
+    node.self_ms = rec.io.ms;
+    node.self_io = rec.io;
+    node_by_label[label] = &node;
+  }
+  return g;
+}
+
+double FlameGraph::TotalMs() const {
+  double total = 0;
+  for (const auto& [suffix, root] : roots_) total += root.TotalMs();
+  return total;
+}
+
+std::string FlameGraph::ToFolded() const {
+  std::string out;
+  Visit(roots_, "", [&out](const std::string& path, const FlameNode& node) {
+    const auto us = static_cast<long long>(std::llround(node.self_ms * 1000.0));
+    if (us <= 0 && node.count == 0) return;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %lld\n", us);
+    out += path;
+    out += buf;
+  });
+  return out;
+}
+
+FlameGraph::Check FlameGraph::CheckStructure(double ledger_total_ms) const {
+  Check c;
+  Visit(roots_, "", [&c](const std::string& /*path*/, const FlameNode& node) {
+    double child_total = 0;
+    for (const auto& [suffix, child] : node.children) {
+      child_total += child.TotalMs();
+    }
+    const double total = node.TotalMs();
+    if (child_total > total + 1e-6) {
+      c.ok = false;
+      c.problems.push_back("node " + node.label + ": children total " +
+                           std::to_string(child_total) +
+                           " ms exceeds inclusive total " +
+                           std::to_string(total) + " ms");
+    }
+  });
+  const double total = TotalMs();
+  if (std::fabs(total - ledger_total_ms) >
+      1e-6 * (1.0 + std::fabs(ledger_total_ms))) {
+    c.ok = false;
+    c.problems.push_back("roots total " + std::to_string(total) +
+                         " ms != ledger total " +
+                         std::to_string(ledger_total_ms) + " ms");
+  }
+  return c;
+}
+
+FlameGraph::Check FlameGraph::CheckConservation(
+    const std::map<std::string, double>& span_io_ms) const {
+  Check c;
+  std::map<std::string, const FlameNode*> by_label;
+  CollectByLabel(roots_, &by_label);
+  for (const auto& [label, node] : by_label) {
+    auto it = span_io_ms.find(label);
+    const double span_ms = it == span_io_ms.end() ? 0.0 : it->second;
+    if (std::fabs(node->self_ms - span_ms) >
+        1e-6 * (1.0 + std::fabs(node->self_ms))) {
+      c.ok = false;
+      c.problems.push_back(
+          "label " + label + ": ledger " + std::to_string(node->self_ms) +
+          " ms vs span " + std::to_string(span_ms) + " ms");
+    }
+  }
+  for (const auto& [label, ms] : span_io_ms) {
+    if (by_label.find(label) == by_label.end() && ms > 1e-6) {
+      c.ok = false;
+      c.problems.push_back("label " + label + ": " + std::to_string(ms) +
+                           " span ms with no ledger entry");
+    }
+  }
+  return c;
+}
+
+}  // namespace lob

@@ -1,0 +1,91 @@
+// Hierarchical cost attribution: rolls the flat per-op ledger
+// (ObsRegistry::ops()) up into a tree using the OpScope label grammar.
+//
+// Nested OpScopes compose labels with '.' — an append issued inside an
+// insert is charged to "esm.insert.esm.append", never double-counted
+// against the parent "esm.insert" (SimDisk charges each metered call to
+// the innermost scope only). That makes every ledger entry an
+// *exclusive* (self) cost, and the label set a prefix code: the parent
+// of label L is the longest other observed label P with L == P + "." +
+// anything. FlameGraph::Build reconstructs that tree, so
+//
+//   node.TotalMs() == node.self_ms + sum over children of TotalMs()
+//
+// and the sum of TotalMs over the roots equals the ledger-wide total —
+// the span <-> ledger conservation invariant, checked per node by
+// CheckConservation against TraceSession::IoMsByOp() (which attributes
+// disk.io spans to the nearest enclosing op span, i.e. reconstructs the
+// same exclusive costs from the trace side).
+//
+// ToFolded() emits the classic folded-stack text ("a;b;c <count>\n",
+// one line per node, integer modeled microseconds) consumed by
+// speedscope, inferno and flamegraph.pl. Output iterates sorted maps
+// only: byte-identical for any --jobs.
+
+#ifndef LOB_OBS_FLAME_H_
+#define LOB_OBS_FLAME_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/obs_registry.h"
+
+namespace lob {
+
+/// One node of the rolled-up label tree.
+struct FlameNode {
+  std::string label;    ///< full ledger label ("esm.insert.esm.append")
+  uint64_t count = 0;   ///< finished operations recorded under the label
+  double self_ms = 0;   ///< exclusive modeled ms (the ledger entry)
+  IoStats self_io;      ///< exclusive I/O charged to the label
+  /// Children keyed by their label suffix relative to this node
+  /// ("esm.append" for the example above).
+  std::map<std::string, FlameNode> children;
+
+  /// Inclusive modeled ms: self plus all descendants.
+  double TotalMs() const;
+};
+
+/// The rolled-up tree plus its exporters and conservation checks.
+class FlameGraph {
+ public:
+  /// Builds the tree from the registry's attribution ledger. The
+  /// kUnattributed pseudo-label becomes its own root when present.
+  static FlameGraph Build(const ObsRegistry& obs);
+
+  const std::map<std::string, FlameNode>& roots() const { return roots_; }
+
+  /// Sum of inclusive cost over all roots == ledger-wide attributed ms.
+  double TotalMs() const;
+
+  /// Folded-stack text: one "path;to;node <microseconds>\n" line per
+  /// node with nonzero exclusive cost, in sorted label order.
+  std::string ToFolded() const;
+
+  /// Result of a conservation check.
+  struct Check {
+    bool ok = true;
+    std::vector<std::string> problems;  ///< human-readable, sorted order
+  };
+
+  /// Structural invariant: for every node, inclusive cost >= the sum of
+  /// its children's inclusive costs (equivalently self_ms >= 0), and the
+  /// roots' inclusive total equals `ledger_total_ms` within rounding.
+  Check CheckStructure(double ledger_total_ms) const;
+
+  /// Span <-> ledger conservation: for every node, the exclusive ledger
+  /// ms must match the disk.io span ms attributed to the same label by
+  /// TraceSession::IoMsByOp(). Labels seen by only one side are
+  /// violations (a cost that exists in the ledger but not the trace, or
+  /// vice versa, is unaccounted time).
+  Check CheckConservation(const std::map<std::string, double>& span_io_ms) const;
+
+ private:
+  std::map<std::string, FlameNode> roots_;
+};
+
+}  // namespace lob
+
+#endif  // LOB_OBS_FLAME_H_

@@ -35,11 +35,95 @@ void AppendF(std::string* out, const char* fmt, ...) {
 }  // namespace
 
 void Histogram::Add(uint64_t value) {
-  buckets_[BucketIndex(value)]++;
+  const int b = BucketIndex(value);
+  buckets_[b]++;
   count_++;
-  sum_ += static_cast<double>(value);
+  sum_ += value;
   if (value < min_) min_ = value;
   if (value > max_) max_ = value;
+  if (!sub_.empty()) {
+    int j = 0;
+    if (b > 0) {
+      // Bucket b >= 1 spans [2^(b-1), 2^b), i.e. width == its lower
+      // bound. Double math avoids (value - lo) * kSubBuckets overflow in
+      // the top catch-all bucket; values beyond the nominal width clamp
+      // into the last sub-bucket.
+      const uint64_t lo = BucketLowerBound(b);
+      j = static_cast<int>(static_cast<double>(value - lo) /
+                           static_cast<double>(lo) * kSubBuckets);
+      if (j >= kSubBuckets) j = kSubBuckets - 1;
+    }
+    sub_[static_cast<size_t>(b) * kSubBuckets + static_cast<size_t>(j)]++;
+  }
+}
+
+void Histogram::EnableSubBuckets() {
+  if (!sub_.empty() || count_ > 0) return;
+  sub_.assign(static_cast<size_t>(kBuckets) * kSubBuckets, 0);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min_);
+  if (q >= 1.0) return static_cast<double>(max_);
+  const double target = q * static_cast<double>(count_ - 1);
+  uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const uint64_t n = buckets_[i];
+    if (n == 0) continue;
+    if (target < static_cast<double>(cum) + static_cast<double>(n)) {
+      double lo = static_cast<double>(BucketLowerBound(i));
+      double hi = i == 0 ? 1.0
+                  : i == kBuckets - 1
+                      ? static_cast<double>(max_) + 1.0
+                      : static_cast<double>(uint64_t{1} << i);
+      double pos = target - static_cast<double>(cum);
+      double in_range = static_cast<double>(n);
+      // The top catch-all bucket's sub-bucket geometry (nominal doubling
+      // width) does not match its actual [2^32, max] extent, so the
+      // narrowing is skipped there.
+      if (!sub_.empty() && i > 0 && i < kBuckets - 1) {
+        const double width = (hi - lo) / kSubBuckets;
+        uint64_t cum2 = 0;
+        for (int j = 0; j < kSubBuckets; ++j) {
+          const uint64_t m =
+              sub_[static_cast<size_t>(i) * kSubBuckets + static_cast<size_t>(j)];
+          if (m == 0) continue;
+          if (pos < static_cast<double>(cum2) + static_cast<double>(m)) {
+            lo += width * j;
+            hi = lo + width;
+            pos -= static_cast<double>(cum2);
+            in_range = static_cast<double>(m);
+            break;
+          }
+          cum2 += m;
+        }
+      }
+      double v = lo + (hi - lo) * (pos / in_range);
+      if (v < static_cast<double>(min_)) v = static_cast<double>(min_);
+      if (v > static_cast<double>(max_)) v = static_cast<double>(max_);
+      return v;
+    }
+    cum += n;
+  }
+  return static_cast<double>(max_);
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  if (!other.sub_.empty() && sub_.empty() && count_ == 0) {
+    sub_ = other.sub_;
+  } else if (!sub_.empty() && !other.sub_.empty()) {
+    for (size_t i = 0; i < sub_.size(); ++i) sub_[i] += other.sub_[i];
+  } else if (!sub_.empty() && other.count_ > 0) {
+    sub_.clear();  // coarse-only side: degrade to log2 resolution
+  }
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
 }
 
 int Histogram::BucketIndex(uint64_t value) {
@@ -67,6 +151,7 @@ void ObsRegistry::RecordOpEnd(const char* label, const IoStats& op_delta) {
     OpEndEntry e;
     e.rec = &ops_[base];
     e.ms = &Histo(base + ".ms");
+    if (high_res_ops_) e.ms->EnableSubBuckets();
     e.seeks = &Histo(base + ".seeks");
     e.pages = &Histo(base + ".pages");
     it = op_end_memo_.emplace(base, e).first;
@@ -92,6 +177,18 @@ bool ObsRegistry::ConservationHolds(const IoStats& global) const {
          sum.pages_read == global.pages_read &&
          sum.pages_written == global.pages_written &&
          std::fabs(sum.ms - global.ms) < 1e-6 * (1.0 + std::fabs(global.ms));
+}
+
+void ObsRegistry::MergeFrom(const ObsRegistry& other) {
+  for (const auto& [label, rec] : other.ops_) {
+    OpRecord& mine = ops_[label];
+    mine.count += rec.count;
+    mine.io += rec.io;
+  }
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, h] : other.histograms_) {
+    histograms_[name].MergeFrom(h);
+  }
 }
 
 void ObsRegistry::Reset() {
@@ -130,12 +227,15 @@ std::string ObsRegistry::ToJson() const {
   first = true;
   for (const auto& [name, h] : histograms_) {
     AppendF(&out,
-            "%s\n    \"%s\": {\"count\": %llu, \"sum\": %.1f, "
-            "\"min\": %llu, \"max\": %llu, \"buckets\": [",
+            "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, "
+            "\"min\": %llu, \"max\": %llu, \"p50\": %.3f, \"p90\": %.3f, "
+            "\"p99\": %.3f, \"buckets\": [",
             first ? "" : ",", JsonEscape(name).c_str(),
-            static_cast<unsigned long long>(h.count()), h.sum(),
+            static_cast<unsigned long long>(h.count()),
+            static_cast<unsigned long long>(h.sum()),
             static_cast<unsigned long long>(h.min()),
-            static_cast<unsigned long long>(h.max()));
+            static_cast<unsigned long long>(h.max()), h.Quantile(0.5),
+            h.Quantile(0.9), h.Quantile(0.99));
     bool first_bucket = true;
     for (int i = 0; i < Histogram::kBuckets; ++i) {
       if (h.bucket(i) == 0) continue;

@@ -48,7 +48,44 @@ grep -q '"wall_ms"' "$tmpdir/BENCH_fig5.json" \
 grep -q '"modeled_ms"' "$tmpdir/BENCH_fig5.json" \
   || fail "BENCH_fig5.json missing per-cell modeled_ms"
 
-# 5. --window validation: out-of-range values must be rejected.
+# 5. Schema v2: the modeled payload of BENCH_*.json — cell configs,
+# modeled_ms, and the embedded per-cell metrics_snapshot percentile
+# tables — must be byte-identical for any --jobs. (Wall-clock fields
+# differ run to run, so the comparison strips them.)
+"$FIG9" --quick --csv --jobs=1 --bench-json="$tmpdir/BENCH_fig9_j1.json" \
+  > /dev/null
+"$FIG9" --quick --csv --jobs=4 --bench-json="$tmpdir/BENCH_fig9_j4.json" \
+  > /dev/null
+python3 - "$tmpdir/BENCH_fig9_j1.json" "$tmpdir/BENCH_fig9_j4.json" <<'EOF'
+import json, sys
+
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+assert a["schema_version"] == 2, a.get("schema_version")
+assert b["schema_version"] == 2, b.get("schema_version")
+
+def modeled_cells(profile):
+    return [
+        {
+            "config": c["config"],
+            "modeled_ms": c["modeled_ms"],
+            "metrics_snapshot": c.get("metrics_snapshot"),
+        }
+        for c in profile["cells"]
+    ]
+
+ca, cb = modeled_cells(a), modeled_cells(b)
+assert ca == cb, "modeled cell payloads differ between --jobs=1 and --jobs=4"
+snaps = [c["metrics_snapshot"] for c in ca if c["metrics_snapshot"]]
+assert snaps, "no cell carries a metrics_snapshot"
+ops = snaps[0]["ops"]
+assert ops, "snapshot has no op percentile table"
+row = next(iter(ops.values()))
+for key in ("p50_ms", "p90_ms", "p99_ms", "max_ms", "mean_ms"):
+    assert key in row, f"snapshot op row missing {key}: {sorted(row)}"
+EOF
+
+# 6. --window validation: out-of-range values must be rejected.
 if "$FIG9" --quick --ops=100 --window=0 > /dev/null 2>&1; then
   fail "--window=0 was accepted"
 fi

@@ -1,0 +1,24 @@
+// LOBLINT-FIXTURE-PATH: src/core/metrics_snapshot.cc
+// The metrics-snapshot exporter is in LOB002's exporter scope: even
+// declaring an unordered container here is banned, because the snapshot
+// JSON must be byte-identical for any --jobs and any libstdc++.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace lob {
+
+struct FakeSnapshot {
+  std::unordered_map<std::string, uint64_t> ops;
+
+  std::string ToJson() const {
+    std::string out = "{";
+    for (const auto& kv : ops) {
+      out += "\"" + kv.first + "\": " + std::to_string(kv.second) + ",";
+    }
+    out += "}";
+    return out;
+  }
+};
+
+}  // namespace lob

@@ -1,0 +1,28 @@
+// LOBLINT-FIXTURE-PATH: src/obs/fake_flame.cc
+// The compliant flame/diff exporter shape: sorted std::map at every
+// level, so folded-stack lines and diff rows come out in key order no
+// matter how the inputs were produced.
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace lob {
+
+struct FakeFlameNode {
+  uint64_t self_us = 0;
+  std::map<std::string, FakeFlameNode> children;
+};
+
+std::string ToFolded(const std::map<std::string, FakeFlameNode>& roots,
+                     const std::string& prefix) {
+  std::string out;
+  for (const auto& kv : roots) {
+    const std::string path =
+        prefix.empty() ? kv.first : prefix + ";" + kv.first;
+    out += path + " " + std::to_string(kv.second.self_us) + "\n";
+    out += ToFolded(kv.second.children, path);
+  }
+  return out;
+}
+
+}  // namespace lob

@@ -45,6 +45,56 @@ printf 'BIG ' > "$DIR/ins.txt"
 "$LOBTOOL" "$DB" stats doc json | grep -q '"eos.read"' || fail "stats json"
 "$LOBTOOL" "$DB" stats doc csv | grep -q '^eos.read,' || fail "stats csv"
 
+# stats json is the combined registry + schema-v2 snapshot: quantile
+# columns per op label, pool hit/miss counters, buddy area stats.
+"$LOBTOOL" "$DB" stats doc json > "$DIR/stats.json" || fail "stats json run"
+grep -q '"registry"' "$DIR/stats.json" || fail "stats json registry block"
+grep -q '"snapshot"' "$DIR/stats.json" || fail "stats json snapshot block"
+grep -q '"p99_ms"' "$DIR/stats.json" || fail "stats json p99_ms"
+grep -q '"pool"' "$DIR/stats.json" || fail "stats json pool block"
+grep -q '"schema_version": 2' "$DIR/stats.json" || fail "stats json schema v2"
+# --json alias and the percentile columns in the table view.
+"$LOBTOOL" "$DB" stats doc --json | grep -q '"p50"' || fail "stats --json alias"
+"$LOBTOOL" "$DB" stats doc | grep -q 'p99' || fail "stats table p99 column"
+
+# flame: folded-stack output must be deterministic, parent-prefixed, and
+# pass its conservation checks (exit 0).
+printf 'append 0 100000 1\ninsert 50000 20000 2\nread 10000 40000 3\ndelete 30000 10000 4\n' \
+  > "$DIR/demo.ops"
+"$LOBTOOL" flame "$DIR/demo.ops" eos > "$DIR/flame1.folded" \
+  || fail "flame eos exit"
+"$LOBTOOL" flame "$DIR/demo.ops" eos > "$DIR/flame2.folded" \
+  || fail "flame eos rerun"
+cmp -s "$DIR/flame1.folded" "$DIR/flame2.folded" || fail "flame determinism"
+grep -q '^eos.read ' "$DIR/flame1.folded" || fail "flame has eos.read stack"
+grep -qv ' 0$' "$DIR/flame1.folded" || fail "flame has nonzero self cost"
+"$LOBTOOL" flame "$DIR/demo.ops" esm --out="$DIR/flame_esm.folded" \
+  || fail "flame --out"
+[ -s "$DIR/flame_esm.folded" ] || fail "flame --out wrote file"
+
+# bench-diff: self-diff is zero drift (exit 0); a gated regression exits
+# 1; unreadable input exits 2.
+printf '{"metrics": {"cells_per_sec": 100.0}, "metrics_snapshot": {"ops": {"eos.read": {"p99_ms": 50.0}}}}\n' \
+  > "$DIR/base.json"
+"$LOBTOOL" bench-diff "$DIR/base.json" "$DIR/base.json" > "$DIR/diff.txt" \
+  || fail "bench-diff self-diff exit"
+grep -q 'zero drift' "$DIR/diff.txt" || fail "bench-diff zero drift"
+printf '{"gates": [{"name": "tput", "metric": "metrics.cells_per_sec", "direction": "higher", "max_regression": 0.20}]}\n' \
+  > "$DIR/gates.json"
+printf '{"metrics": {"cells_per_sec": 10.0}, "metrics_snapshot": {"ops": {"eos.read": {"p99_ms": 50.0}}}}\n' \
+  > "$DIR/slow.json"
+set +e
+"$LOBTOOL" bench-diff "$DIR/base.json" "$DIR/slow.json" \
+  --gate="$DIR/gates.json" >/dev/null 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 1 ] || fail "bench-diff gate violation should exit 1 (got $rc)"
+set +e
+"$LOBTOOL" bench-diff "$DIR/base.json" "$DIR/absent.json" >/dev/null 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || fail "bench-diff bad input should exit 2 (got $rc)"
+
 "$LOBTOOL" "$DB" rm idx >/dev/null || fail "rm"
 "$LOBTOOL" "$DB" info | grep -q 'objects: *2' || fail "info after rm"
 

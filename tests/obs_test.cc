@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <string>
 
@@ -53,6 +54,26 @@ TEST(HistogramTest, BucketBoundsRoundTrip) {
   }
 }
 
+TEST(HistogramTest, BucketBoundaryValuesLandInTheRightBucket) {
+  // Every bucket boundary: 2^i goes to bucket i+1 (its lower bound),
+  // 2^i - 1 stays in bucket i. Plus the extremes 0, 1, UINT64_MAX.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  for (int i = 1; i < Histogram::kBuckets - 1; ++i) {
+    const uint64_t lo = Histogram::BucketLowerBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(lo), i) << "2^" << (i - 1);
+    if (lo > 1) {
+      EXPECT_EQ(Histogram::BucketIndex(lo - 1), i - 1)
+          << "2^" << (i - 1) << " - 1";
+    }
+  }
+  // At and above the top bucket's lower bound everything is clamped.
+  const uint64_t top = Histogram::BucketLowerBound(Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(top - 1), Histogram::kBuckets - 2);
+  EXPECT_EQ(Histogram::BucketIndex(top), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), Histogram::kBuckets - 1);
+}
+
 TEST(HistogramTest, SummaryStatistics) {
   Histogram h;
   EXPECT_EQ(h.count(), 0u);
@@ -62,11 +83,124 @@ TEST(HistogramTest, SummaryStatistics) {
   EXPECT_EQ(h.count(), 4u);
   EXPECT_EQ(h.min(), 0u);
   EXPECT_EQ(h.max(), 1000u);
-  EXPECT_DOUBLE_EQ(h.sum(), 1008.0);
+  EXPECT_EQ(h.sum(), 1008u);
   EXPECT_DOUBLE_EQ(h.Mean(), 252.0);
   EXPECT_EQ(h.bucket(Histogram::BucketIndex(0)), 1u);
   EXPECT_EQ(h.bucket(Histogram::BucketIndex(5)), 1u);
   EXPECT_EQ(h.bucket(Histogram::BucketIndex(1000)), 1u);
+}
+
+TEST(HistogramTest, SumIsExactBeyondDoublePrecision) {
+  // Regression: sum_ was a double, so adding 1 after 2^53 dropped the 1
+  // (2^53 + 1 is not representable). The integer accumulator is exact.
+  Histogram h;
+  h.Add(uint64_t{1} << 53);
+  h.Add(1);
+  EXPECT_EQ(h.sum(), (uint64_t{1} << 53) + 1);
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+
+  Histogram one;
+  one.Add(37);
+  // Single sample: every quantile is that sample.
+  EXPECT_DOUBLE_EQ(one.Quantile(0.0), 37.0);
+  EXPECT_DOUBLE_EQ(one.Quantile(0.5), 37.0);
+  EXPECT_DOUBLE_EQ(one.Quantile(0.99), 37.0);
+  EXPECT_DOUBLE_EQ(one.Quantile(1.0), 37.0);
+
+  // All samples in one bucket: results interpolate inside the bucket but
+  // never escape the observed [min, max] range.
+  Histogram same;
+  for (int i = 0; i < 100; ++i) same.Add(33);  // bucket [32, 64)
+  EXPECT_DOUBLE_EQ(same.Quantile(0.5), 33.0);
+  EXPECT_DOUBLE_EQ(same.Quantile(0.99), 33.0);
+
+  // Zero-valued samples sit in the dedicated bucket 0.
+  Histogram zeros;
+  for (int i = 0; i < 10; ++i) zeros.Add(0);
+  EXPECT_DOUBLE_EQ(zeros.Quantile(0.9), 0.0);
+}
+
+TEST(HistogramTest, QuantilesAreMonotoneAndOrdered) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Add(v);
+  const double p50 = h.Quantile(0.5);
+  const double p90 = h.Quantile(0.9);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, static_cast<double>(h.max()));
+  EXPECT_GE(p50, static_cast<double>(h.min()));
+  // Log2 buckets are coarse, but the uniform 1..1000 stream should put
+  // p50 somewhere in the right octave.
+  EXPECT_GT(p50, 256.0);
+  EXPECT_LT(p50, 1000.0);
+}
+
+TEST(HistogramTest, SubBucketsSharpenQuantiles) {
+  Histogram coarse;
+  Histogram fine;
+  fine.EnableSubBuckets();
+  EXPECT_TRUE(fine.sub_buckets_enabled());
+  // 1000 samples at 520 and one outlier at 1020 — same log2 bucket
+  // [512, 1024). The coarse histogram has to interpolate across the whole
+  // bucket; the fine one pins the mass near 520.
+  for (int i = 0; i < 1000; ++i) {
+    coarse.Add(520);
+    fine.Add(520);
+  }
+  coarse.Add(1020);
+  fine.Add(1020);
+  const double coarse_p50 = coarse.Quantile(0.5);
+  const double fine_p50 = fine.Quantile(0.5);
+  EXPECT_NEAR(fine_p50, 520.0, 32.0);  // within one sub-bucket width
+  EXPECT_LE(std::abs(fine_p50 - 520.0), std::abs(coarse_p50 - 520.0));
+}
+
+TEST(HistogramTest, SubBucketEnableIsBeforeFirstSampleOnly) {
+  Histogram h;
+  h.Add(7);
+  h.EnableSubBuckets();  // too late: ignored, stays coarse
+  EXPECT_FALSE(h.sub_buckets_enabled());
+}
+
+TEST(HistogramTest, MergeFromCombinesCountsAndExtremes) {
+  Histogram a;
+  Histogram b;
+  for (uint64_t v : {1u, 10u, 100u}) a.Add(v);
+  for (uint64_t v : {5u, 5000u}) b.Add(v);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.sum(), 1u + 10u + 100u + 5u + 5000u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 5000u);
+  // Merging from an empty histogram changes nothing.
+  Histogram empty;
+  a.MergeFrom(empty);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.min(), 1u);
+}
+
+TEST(HistogramTest, MergeFromDegradesMixedResolutionToCoarse) {
+  Histogram fine;
+  fine.EnableSubBuckets();
+  fine.Add(100);
+  Histogram coarse;
+  coarse.Add(200);
+  fine.MergeFrom(coarse);  // coarse side has samples: sub table is invalid
+  EXPECT_FALSE(fine.sub_buckets_enabled());
+  EXPECT_EQ(fine.count(), 2u);
+  // An empty destination adopts the source's sub-bucket table.
+  Histogram fresh;
+  Histogram fine2;
+  fine2.EnableSubBuckets();
+  fine2.Add(100);
+  fresh.MergeFrom(fine2);
+  EXPECT_TRUE(fresh.sub_buckets_enabled());
+  EXPECT_EQ(fresh.count(), 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -83,6 +217,42 @@ TEST(ObsRegistryTest, CountersAndHistosCreatedOnFirstUse) {
   EXPECT_TRUE(obs.counters().empty());
   EXPECT_TRUE(obs.histograms().empty());
   EXPECT_TRUE(obs.ops().empty());
+}
+
+TEST(ObsRegistryTest, MergeFromAccumulatesAcrossRegistries) {
+  ObsRegistry a;
+  ObsRegistry b;
+  IoStats call;
+  call.read_calls = 1;
+  call.pages_read = 2;
+  call.ms = 41.0;
+  a.AttributeCall("eos.read", call);
+  a.RecordOpEnd("eos.read", call);
+  a.Counter("pool.fix_hits") = 10;
+  b.AttributeCall("eos.read", call);
+  b.AttributeCall("esm.insert", call);
+  b.RecordOpEnd("eos.read", call);
+  b.RecordOpEnd("esm.insert", call);
+  b.Counter("pool.fix_hits") = 5;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.ops().at("eos.read").io.read_calls, 2u);
+  EXPECT_EQ(a.ops().at("eos.read").count, 2u);
+  EXPECT_EQ(a.ops().at("esm.insert").io.read_calls, 1u);
+  EXPECT_EQ(a.counters().at("pool.fix_hits"), 15u);
+  EXPECT_EQ(a.histograms().at("eos.read.ms").count(), 2u);
+  EXPECT_EQ(a.histograms().at("esm.insert.ms").count(), 1u);
+}
+
+TEST(ObsRegistryTest, JsonExportCarriesQuantiles) {
+  ObsRegistry obs;
+  IoStats call;
+  call.read_calls = 1;
+  call.ms = 41.0;
+  obs.RecordOpEnd("eos.read", call);
+  const std::string json = obs.ToJson();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p90\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
 }
 
 TEST(ObsRegistryTest, AttributionLedgerAccumulatesPerLabel) {

@@ -102,7 +102,13 @@ UNORDERED_SCOPE_PREFIXES = ("src/", "bench/", "tools/")
 
 # Exporter scope: code whose whole job is producing ordered text output.
 EXPORTER_PREFIXES = ("src/trace/", "src/obs/", "tools/")
-EXPORTER_FILES = ("src/common/csv.h",)
+EXPORTER_FILES = (
+    "src/common/csv.h",
+    "src/common/json.h",
+    "src/common/json.cc",
+    "src/core/metrics_snapshot.h",
+    "src/core/metrics_snapshot.cc",
+)
 
 # Direct SimDisk Read/Write mediators. buffer_pool.cc is charged through the
 # OpScope its manager callers hold; disk_image.cc is the persistence path

@@ -20,7 +20,11 @@
 //       per-operation I/O attribution ledger for this invocation. With a
 //       name, the object is first scanned sequentially through its engine
 //       so the ledger shows attributed read costs; image-load I/O shows up
-//       under "(unattributed)". json/csv select the export format.
+//       under "(unattributed)". json/csv select the export format
+//       (--json is accepted as an alias for json). The table and json
+//       formats include the schema-v2 metrics snapshot: per-op
+//       p50/p90/p99/max modeled ms, pool hit/miss/eviction rates, buddy
+//       free-extent stats and fault counters.
 //   lobtool trace <op-script> [esm|starburst|eos] [param] [--json=FILE]
 //       replays the op script (workload/trace.h text format: one
 //       "<kind> <offset> <size> <seed>" per line) against a fresh
@@ -28,6 +32,24 @@
 //       tracing attached, then prints the aggregated span tree with
 //       per-phase modeled-ms rollups. --json additionally writes the raw
 //       Chrome trace-event / Perfetto JSON stream.
+//   lobtool flame <op-script> [esm|starburst|eos] [param] [--out=FILE]
+//       replays the op script like `trace`, rolls the per-op attribution
+//       ledger up into the parent.child label tree and emits folded-stack
+//       flamegraph text (one "path;to;label <modeled-us>" line per node;
+//       feed to speedscope or inferno-flamegraph). Runs the span<->ledger
+//       conservation check per tree node (root total == ledger total,
+//       children never exceed their parent, every node's exclusive cost
+//       matches the trace's disk.io attribution); check results go to
+//       stderr and a violation exits 1.
+//   lobtool bench-diff <baseline.json> <new.json> [--gate=FILE]
+//       [--format=table|csv|json] [--neutral-band=FRACTION]
+//       per-metric drift report between two BENCH_*.json profiles (or any
+//       JSON documents): both sides are flattened to dotted metric paths
+//       and every numeric leaf becomes one row with abs/rel delta and a
+//       regression/improvement/neutral classification. --gate loads
+//       thresholds (see scripts/perf_gates.json) and turns the report
+//       into a CI gate: exit 0 clean, 1 on gate violations, 2 on bad
+//       input. A run diffed against itself reports zero drift.
 //
 // Every mutating command reopens the image, applies the change, and saves
 // it back - a deliberately simple single-shot model matching the
@@ -41,8 +63,12 @@
 #include <vector>
 
 #include "check/fsck.h"
+#include "common/json.h"
 #include "core/database.h"
 #include "core/factory.h"
+#include "core/metrics_snapshot.h"
+#include "obs/bench_diff.h"
+#include "obs/flame.h"
 #include "trace/trace_session.h"
 #include "trace/tracing.h"
 #include "workload/trace.h"
@@ -62,7 +88,11 @@ int Usage() {
                "init|create|put|cat|insert|delete|ls|rm|stat|info|stats"
                "|fsck ...\n"
                "       lobtool trace <op-script> [esm|starburst|eos] "
-               "[param] [--json=FILE]\n");
+               "[param] [--json=FILE]\n"
+               "       lobtool flame <op-script> [esm|starburst|eos] "
+               "[param] [--out=FILE]\n"
+               "       lobtool bench-diff <baseline.json> <new.json> "
+               "[--gate=FILE] [--format=table|csv|json]\n");
   return 2;
 }
 
@@ -149,12 +179,156 @@ int RunTrace(int argc, char** argv) {
   return 0;
 }
 
+/// `lobtool flame <op-script> [engine] [param] [--out=FILE]`: replay the
+/// script, roll the attribution ledger up into the label tree and emit
+/// folded-stack flamegraph text. Conservation check results go to stderr.
+int RunFlame(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string script = argv[2];
+  std::string engine_name = "eos";
+  uint32_t param = 0;
+  std::string out_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "esm" || arg == "starburst" || arg == "eos") {
+      engine_name = arg;
+    } else {
+      param = static_cast<uint32_t>(std::strtoul(arg.c_str(), nullptr, 10));
+    }
+  }
+
+  auto trace = LoadTrace(script);
+  if (!trace.ok()) return Fail(trace.status());
+
+  StorageSystem sys;
+  TraceSession session;
+  sys.disk()->set_trace(&session);
+  std::unique_ptr<LargeObjectManager> mgr;
+  if (engine_name == "esm") {
+    mgr = CreateEsmManager(&sys, param == 0 ? 4 : param);
+  } else if (engine_name == "starburst") {
+    mgr = CreateStarburstManager(&sys);
+  } else {
+    mgr = CreateEosManager(&sys, param == 0 ? 4 : param);
+  }
+  auto id = mgr->Create();
+  if (!id.ok()) return Fail(id.status());
+  auto io = ApplyTrace(&sys, mgr.get(), *id, *trace);
+  if (!io.ok()) return Fail(io.status());
+  sys.disk()->set_trace(nullptr);
+
+  const FlameGraph graph = FlameGraph::Build(*sys.obs());
+  const std::string folded = graph.ToFolded();
+  if (out_path.empty()) {
+    std::fputs(folded.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) return Fail(Status::NotFound("cannot write " + out_path));
+    std::fwrite(folded.data(), 1, folded.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s (feed to speedscope or inferno)\n",
+                 out_path.c_str());
+  }
+
+  // Conservation: structure always; span comparison only when the build
+  // records spans at all.
+  bool ok = true;
+  const FlameGraph::Check structure =
+      graph.CheckStructure(sys.obs()->AttributedTotal().ms);
+  for (const auto& p : structure.problems) {
+    std::fprintf(stderr, "flame structure: %s\n", p.c_str());
+  }
+  ok = ok && structure.ok;
+#if LOB_TRACING
+  const FlameGraph::Check spans = graph.CheckConservation(session.IoMsByOp());
+  for (const auto& p : spans.problems) {
+    std::fprintf(stderr, "flame span<->ledger: %s\n", p.c_str());
+  }
+  ok = ok && spans.ok;
+  std::fprintf(stderr, "flame conservation: %s (root total %.3f ms)\n",
+               ok ? "OK" : "VIOLATED", graph.TotalMs());
+#else
+  std::fprintf(stderr,
+               "flame conservation: structure %s (root total %.3f ms); "
+               "span check skipped (LOB_TRACING=OFF)\n",
+               ok ? "OK" : "VIOLATED", graph.TotalMs());
+#endif
+  return ok ? 0 : 1;
+}
+
+/// `lobtool bench-diff <baseline.json> <new.json> [--gate=FILE]
+/// [--format=table|csv|json] [--neutral-band=F]`.
+int RunBenchDiff(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string base_path = argv[2];
+  const std::string new_path = argv[3];
+  std::string gate_path;
+  std::string format = "table";
+  double neutral_band = 0.01;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--gate=", 0) == 0) {
+      gate_path = arg.substr(7);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg.rfind("--neutral-band=", 0) == 0) {
+      neutral_band = std::strtod(arg.c_str() + 15, nullptr);
+    } else {
+      std::fprintf(stderr, "lobtool bench-diff: unknown argument %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (format != "table" && format != "csv" && format != "json") {
+    std::fprintf(stderr, "lobtool bench-diff: bad --format=%s\n",
+                 format.c_str());
+    return 2;
+  }
+
+  // Bad input (unreadable or malformed JSON, bad gate spec) exits 2 so
+  // callers can tell "regression" (1) from "couldn't compare" (2).
+  auto base = JsonValue::ParseFile(base_path);
+  if (!base.ok()) return Fail(base.status()), 2;
+  auto fresh = JsonValue::ParseFile(new_path);
+  if (!fresh.ok()) return Fail(fresh.status()), 2;
+  JsonValue gates;
+  bool have_gates = false;
+  if (!gate_path.empty()) {
+    auto parsed = JsonValue::ParseFile(gate_path);
+    if (!parsed.ok()) return Fail(parsed.status()), 2;
+    gates = std::move(*parsed);
+    have_gates = true;
+  }
+
+  auto diff = BenchDiff::Compare(*base, *fresh,
+                                 have_gates ? &gates : nullptr, neutral_band);
+  if (!diff.ok()) return Fail(diff.status()), 2;
+  if (format == "csv") {
+    std::fputs(diff->ToCsv().c_str(), stdout);
+  } else if (format == "json") {
+    std::fputs(diff->ToJson().c_str(), stdout);
+  } else {
+    std::fputs(diff->ToTable().c_str(), stdout);
+  }
+  if (diff->HasViolations()) {
+    for (const auto& v : diff->violations()) {
+      std::fprintf(stderr, "bench-diff: VIOLATION: %s\n", v.c_str());
+    }
+    return 1;
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string image = argv[1];
   const std::string cmd = argv[2];
 
   if (image == "trace") return RunTrace(argc, argv);
+  if (image == "flame") return RunFlame(argc, argv);
+  if (image == "bench-diff") return RunBenchDiff(argc, argv);
 
   if (cmd == "init") {
     auto db = Database::Create();
@@ -297,6 +471,8 @@ int Run(int argc, char** argv) {
       const std::string arg = argv[i];
       if (arg == "table" || arg == "json" || arg == "csv") {
         fmt = arg;
+      } else if (arg == "--json") {
+        fmt = "json";
       } else {
         name = arg;
       }
@@ -319,24 +495,44 @@ int Run(int argc, char** argv) {
         }
       }
     }
+    // Surface the pool counters before any export so every format (and
+    // the snapshot below) sees pool.fix_hits / pool.fix_misses /
+    // pool.evictions.
+    sys->pool()->PublishCounters(sys->obs());
     const ObsRegistry* obs = sys->obs();
     if (fmt == "json") {
+      // Two views of the same registry: "registry" is the raw ledger +
+      // histogram export (stable since schema v1), "snapshot" the v2
+      // per-cell MetricsSnapshot with op percentiles, pool rates, buddy
+      // free-extent stats and fault counters.
+      std::printf("{\n\"registry\": ");
       std::fputs(obs->ToJson().c_str(), stdout);
+      std::printf(",\n\"snapshot\": ");
+      std::fputs(MetricsSnapshot::Collect(sys).ToJson("").c_str(), stdout);
+      std::printf("\n}\n");
       return 0;
     }
     if (fmt == "csv") {
       std::fputs(obs->ToCsv().c_str(), stdout);
       return 0;
     }
-    std::printf("%-24s %10s %10s %10s %10s %12s\n", "op", "count", "reads",
-                "writes", "pages", "ms");
+    std::printf("%-24s %10s %10s %10s %10s %12s %9s %9s %9s\n", "op", "count",
+                "reads", "writes", "pages", "ms", "p50", "p90", "p99");
     for (const auto& [label, rec] : obs->ops()) {
-      std::printf("%-24s %10llu %10llu %10llu %10llu %12.1f\n", label.c_str(),
+      std::printf("%-24s %10llu %10llu %10llu %10llu %12.1f", label.c_str(),
                   static_cast<unsigned long long>(rec.count),
                   static_cast<unsigned long long>(rec.io.read_calls),
                   static_cast<unsigned long long>(rec.io.write_calls),
                   static_cast<unsigned long long>(rec.io.PagesTransferred()),
                   rec.io.ms);
+      const auto& hists = obs->histograms();
+      auto h = hists.find(label + ".ms");
+      if (h != hists.end() && h->second.count() > 0) {
+        std::printf(" %9.1f %9.1f %9.1f\n", h->second.Quantile(0.5),
+                    h->second.Quantile(0.9), h->second.Quantile(0.99));
+      } else {
+        std::printf(" %9s %9s %9s\n", "-", "-", "-");
+      }
     }
     std::printf("global: %s\n", sys->stats().ToString().c_str());
     std::printf("conservation: %s\n",

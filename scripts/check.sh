@@ -2,10 +2,11 @@
 # Sanitizer gate, three passes:
 #  1. ASan+UBSan (-DLOB_SANITIZE=ON): the full test suite, Debug build so
 #     the LOB_CHECK underflow guards in IoStats::operator- are active too.
-#  2. TSan (-DLOB_SANITIZE=thread): the parallel-experiment-engine tests
-#     (ThreadPool/ParallelRunner unit tests, the bench/trace determinism
-#     gates and the per-job TraceSession isolation test, which fan real
-#     StorageSystem jobs across 4 workers).
+#  2. TSan (-DLOB_SANITIZE=thread): the FULL test suite minus the `death`
+#     label — gtest death tests fork(), which TSan cannot follow; every
+#     other test (including the fault campaign, bench/trace determinism
+#     gates and the latched BufferPool/ObsRegistry/TraceSession paths)
+#     runs under the race detector.
 #  3. Zero-overhead proof (-DLOB_TRACING=OFF): with tracing compiled out,
 #     a bench run must produce byte-identical output to the tracing-ON
 #     build — the hooks are free when the feature is off.
@@ -25,9 +26,7 @@ cmake -B build-tsan -G Ninja \
   -DLOB_SANITIZE=thread
 cmake --build build-tsan
 TSAN_OPTIONS=halt_on_error=1 \
-  ctest --test-dir build-tsan --output-on-failure \
-        -R '^(exec_test|bench_determinism|trace_determinism|trace_session_test)$' \
-        "$@"
+  ctest --test-dir build-tsan --output-on-failure -LE death "$@"
 
 # Pass 3: tracing compiled out must be invisible to the benches.
 cmake -B build-notrace -G Ninja \

@@ -34,17 +34,22 @@ PageGuard::~PageGuard() { Release(); }
 
 const char* PageGuard::data() const {
   LOB_CHECK(pool_ != nullptr);
-  return pool_->FrameData(slot_);
+  MutexLock lock(&pool_->mu_);
+  // The returned pointer outlives the latch but not the pin: frame slots
+  // and borrowed page images are stable while the pin count is non-zero.
+  return pool_->FrameDataLocked(slot_);
 }
 
 char* PageGuard::mutable_data() {
   LOB_CHECK(pool_ != nullptr);
-  return pool_->MaterializeSlot(slot_);
+  MutexLock lock(&pool_->mu_);
+  return pool_->MaterializeSlotLocked(slot_);
 }
 
 void PageGuard::MarkDirty() {
   LOB_CHECK(pool_ != nullptr);
-  pool_->MaterializeSlot(slot_);
+  MutexLock lock(&pool_->mu_);
+  pool_->MaterializeSlotLocked(slot_);
   pool_->frames_[slot_].dirty = true;
 }
 
@@ -70,7 +75,7 @@ int BufferPool::FindSlot(AreaId area, PageId page) const {
   return map_.Find(Key(area, page));
 }
 
-char* BufferPool::MaterializeSlot(uint32_t slot) {
+char* BufferPool::MaterializeSlotLocked(uint32_t slot) {
   Frame& f = frames_[slot];
   if (f.borrow != nullptr) {
     std::memcpy(SlotData(slot), f.borrow, config_.page_size);
@@ -79,10 +84,15 @@ char* BufferPool::MaterializeSlot(uint32_t slot) {
   return SlotData(slot);
 }
 
-void BufferPool::Unpin(uint32_t slot) {
+void BufferPool::UnpinLocked(uint32_t slot) {
   Frame& f = frames_[slot];
   LOB_CHECK_GT(f.pins, 0u);
   f.pins--;
+}
+
+void BufferPool::Unpin(uint32_t slot) {
+  MutexLock lock(&mu_);
+  UnpinLocked(slot);
 }
 
 Status BufferPool::EvictSlot(uint32_t slot) {
@@ -137,6 +147,14 @@ StatusOr<uint32_t> BufferPool::GetFreeSlot() {
 
 StatusOr<PageGuard> BufferPool::FixPage(AreaId area, PageId page,
                                         FixMode mode) {
+  MutexLock lock(&mu_);
+  auto slot_or = FixSlotLocked(area, page, mode);
+  if (!slot_or.ok()) return slot_or.status();
+  return PageGuard(this, *slot_or);
+}
+
+StatusOr<uint32_t> BufferPool::FixSlotLocked(AreaId area, PageId page,
+                                             FixMode mode) {
   int existing = FindSlot(area, page);
   if (existing >= 0) {
     uint32_t slot = static_cast<uint32_t>(existing);
@@ -144,7 +162,7 @@ StatusOr<PageGuard> BufferPool::FixPage(AreaId area, PageId page,
     f.pins++;
     f.lru = ++tick_;
     hits_++;
-    return PageGuard(this, slot);
+    return slot;
   }
   auto slot_or = GetFreeSlot();
   if (!slot_or.ok()) return slot_or.status();
@@ -178,7 +196,7 @@ StatusOr<PageGuard> BufferPool::FixPage(AreaId area, PageId page,
   f.pins = 1;
   f.lru = ++tick_;
   map_.Insert(Key(area, page), slot);
-  return PageGuard(this, slot);
+  return slot;
 }
 
 Status BufferPool::FlushAndDropRange(AreaId area, PageId first,
@@ -201,6 +219,7 @@ Status BufferPool::ReadSegmentRange(AreaId area, PageId seg_first,
   if (byte_off + n_bytes > seg_valid_bytes) {
     return Status::OutOfRange("read past segment valid bytes");
   }
+  MutexLock lock(&mu_);
   const uint64_t P = config_.page_size;
   const PageId p0 = seg_first + static_cast<PageId>(byte_off / P);
   const PageId p1 =
@@ -271,15 +290,16 @@ Status BufferPool::ReadSegmentRange(AreaId area, PageId seg_first,
         // later fetch may evict an earlier page again.
         uint64_t copied = 0;
         for (PageId p = p0; p <= p1; ++p) {
-          auto g = FixPage(area, p, FixMode::kRead);
-          if (!g.ok()) return g.status();
+          auto s_or = FixSlotLocked(area, p, FixMode::kRead);
+          if (!s_or.ok()) return s_or.status();
           const uint64_t page_begin =
               static_cast<uint64_t>(p - seg_first) * P;
           const uint64_t lo = std::max(byte_off, page_begin);
           const uint64_t hi = std::min(byte_off + n_bytes, page_begin + P);
-          std::memcpy(dst + (lo - byte_off), g->data() + (lo - page_begin),
-                      hi - lo);
+          std::memcpy(dst + (lo - byte_off),
+                      FrameDataLocked(*s_or) + (lo - page_begin), hi - lo);
           copied += hi - lo;
+          UnpinLocked(*s_or);
         }
         LOB_CHECK_EQ(copied, n_bytes);
         return Status::OK();
@@ -295,7 +315,8 @@ Status BufferPool::ReadSegmentRange(AreaId area, PageId seg_first,
       const uint64_t lo = std::max(byte_off, page_begin);
       const uint64_t hi = std::min(byte_off + n_bytes, page_begin + P);
       std::memcpy(dst + (lo - byte_off),
-                  FrameData(static_cast<uint32_t>(s)) + (lo - page_begin),
+                  FrameDataLocked(static_cast<uint32_t>(s)) +
+                      (lo - page_begin),
                   hi - lo);
       copied += hi - lo;
     }
@@ -310,11 +331,12 @@ Status BufferPool::ReadSegmentRange(AreaId area, PageId seg_first,
   PageId mid_last = p1;
   if (byte_off % P != 0) {
     // Partial first block travels through the pool.
-    auto g = FixPage(area, p0, FixMode::kRead);
-    if (!g.ok()) return g.status();
+    auto s_or = FixSlotLocked(area, p0, FixMode::kRead);
+    if (!s_or.ok()) return s_or.status();
     const uint64_t in_page = byte_off % P;
     const uint64_t take = std::min(P - in_page, remaining);
-    std::memcpy(out, g->data() + in_page, take);
+    std::memcpy(out, FrameDataLocked(*s_or) + in_page, take);
+    UnpinLocked(*s_or);
     out += take;
     remaining -= take;
     mid_first = p0 + 1;
@@ -349,9 +371,10 @@ Status BufferPool::ReadSegmentRange(AreaId area, PageId seg_first,
   if (remaining > 0) {
     // Partial last block through the pool.
     LOB_CHECK_EQ(remaining, tail_take);
-    auto g = FixPage(area, p1, FixMode::kRead);
-    if (!g.ok()) return g.status();
-    std::memcpy(out, g->data(), remaining);
+    auto s_or = FixSlotLocked(area, p1, FixMode::kRead);
+    if (!s_or.ok()) return s_or.status();
+    std::memcpy(out, FrameDataLocked(*s_or), remaining);
+    UnpinLocked(*s_or);
   }
   return Status::OK();
 }
@@ -361,6 +384,7 @@ Status BufferPool::WriteSegmentRange(AreaId area, PageId seg_first,
                                      uint64_t byte_off, uint64_t n_bytes,
                                      const char* src) {
   if (n_bytes == 0) return Status::OK();
+  MutexLock lock(&mu_);
   const uint64_t P = config_.page_size;
   const PageId p0 = seg_first + static_cast<PageId>(byte_off / P);
   const PageId p1 =
@@ -380,15 +404,16 @@ Status BufferPool::WriteSegmentRange(AreaId area, PageId seg_first,
   if (np <= config_.max_pool_segment_pages) {
     // Buffered: stage into frames; the caller flushes at operation end.
     for (PageId p = p0; p <= p1; ++p) {
-      auto g = FixPage(area, p,
-                       needs_read(p) ? FixMode::kRead : FixMode::kNew);
-      if (!g.ok()) return g.status();
+      auto s_or = FixSlotLocked(
+          area, p, needs_read(p) ? FixMode::kRead : FixMode::kNew);
+      if (!s_or.ok()) return s_or.status();
       const uint64_t page_begin = static_cast<uint64_t>(p - seg_first) * P;
       const uint64_t lo = std::max(byte_off, page_begin);
       const uint64_t hi = std::min(byte_off + n_bytes, page_begin + P);
-      std::memcpy(g->mutable_data() + (lo - page_begin),
+      std::memcpy(MaterializeSlotLocked(*s_or) + (lo - page_begin),
                   src + (lo - byte_off), hi - lo);
-      g->MarkDirty();
+      frames_[*s_or].dirty = true;
+      UnpinLocked(*s_or);
     }
     return Status::OK();
   }
@@ -408,9 +433,10 @@ Status BufferPool::WriteSegmentRange(AreaId area, PageId seg_first,
     }
     char* stage = scratch_.Allocate(P);
     if (needs_read(p)) {
-      auto g = FixPage(area, p, FixMode::kRead);
-      if (!g.ok()) return g.status();
-      std::memcpy(stage, g->data(), P);
+      auto s_or = FixSlotLocked(area, p, FixMode::kRead);
+      if (!s_or.ok()) return s_or.status();
+      std::memcpy(stage, FrameDataLocked(*s_or), P);
+      UnpinLocked(*s_or);
     } else {
       std::memset(stage, 0, P);
     }
@@ -444,6 +470,7 @@ Status BufferPool::WriteSegmentRange(AreaId area, PageId seg_first,
 Status BufferPool::WriteFreshSegment(AreaId area, PageId first,
                                      const char* data, uint64_t n_bytes) {
   if (n_bytes == 0) return Status::OK();
+  MutexLock lock(&mu_);
   const uint64_t P = config_.page_size;
   const uint32_t np = static_cast<uint32_t>((n_bytes + P - 1) / P);
   // Full pages gather straight from the caller's buffer; only a partial
@@ -482,6 +509,12 @@ Status BufferPool::WriteFreshSegment(AreaId area, PageId first,
 }
 
 Status BufferPool::FlushRun(AreaId area, PageId first, uint32_t n_pages) {
+  MutexLock lock(&mu_);
+  return FlushRunLocked(area, first, n_pages);
+}
+
+Status BufferPool::FlushRunLocked(AreaId area, PageId first,
+                                  uint32_t n_pages) {
   uint32_t i = 0;
   while (i < n_pages) {
     int s = FindSlot(area, first + i);
@@ -521,6 +554,7 @@ Status BufferPool::FlushRun(AreaId area, PageId first, uint32_t n_pages) {
 }
 
 Status BufferPool::FlushAll() {
+  MutexLock lock(&mu_);
   // Collect dirty pages, sorted, and flush maximal contiguous runs.
   std::vector<std::pair<uint64_t, uint32_t>> dirty;  // (key, slot)
   for (uint32_t i = 0; i < frames_.size(); ++i) {
@@ -534,13 +568,14 @@ Status BufferPool::FlushAll() {
     while (j < dirty.size() && dirty[j].first == dirty[j - 1].first + 1) ++j;
     const Frame& f0 = frames_[dirty[i].second];
     LOB_RETURN_IF_ERROR(
-        FlushRun(f0.area, f0.page, static_cast<uint32_t>(j - i)));
+        FlushRunLocked(f0.area, f0.page, static_cast<uint32_t>(j - i)));
     i = j;
   }
   return Status::OK();
 }
 
 Status BufferPool::Invalidate(AreaId area, PageId first, uint32_t n_pages) {
+  MutexLock lock(&mu_);
   for (uint32_t i = 0; i < n_pages; ++i) {
     int s = FindSlot(area, first + i);
     if (s < 0) continue;
@@ -559,6 +594,7 @@ std::vector<BufferPool::CachedPage> BufferPool::CachedPagesSorted() const {
   // lookup table, then pin the ordering explicitly: the result must be a
   // pure function of *which* pages are cached, never of insertion order
   // or hash seeding.
+  MutexLock lock(&mu_);
   std::vector<CachedPage> out;
   out.reserve(frames_.size());
   for (const Frame& f : frames_) {
@@ -572,15 +608,18 @@ std::vector<BufferPool::CachedPage> BufferPool::CachedPagesSorted() const {
 }
 
 bool BufferPool::IsCached(AreaId area, PageId page) const {
+  MutexLock lock(&mu_);
   return FindSlot(area, page) >= 0;
 }
 
 bool BufferPool::IsDirty(AreaId area, PageId page) const {
+  MutexLock lock(&mu_);
   int s = FindSlot(area, page);
   return s >= 0 && frames_[static_cast<uint32_t>(s)].dirty;
 }
 
 BufferPool::State BufferPool::SaveState() const {
+  MutexLock lock(&mu_);
   for (const Frame& f : frames_) LOB_CHECK_EQ(f.pins, 0u);
   State state;
   state.arena = arena_;
@@ -594,6 +633,7 @@ BufferPool::State BufferPool::SaveState() const {
 }
 
 void BufferPool::RestoreState(const State& state) {
+  MutexLock lock(&mu_);
   for (const Frame& f : frames_) LOB_CHECK_EQ(f.pins, 0u);
   // A read-only walk can still have *written* to disk (evicting a dirty
   // victim); restoring the frame's dirty bit afterwards is safe because
@@ -608,6 +648,7 @@ void BufferPool::RestoreState(const State& state) {
 }
 
 void BufferPool::PublishCounters(ObsRegistry* obs) const {
+  MutexLock lock(&mu_);
   obs->Counter("pool.fix_hits") = hits_;
   obs->Counter("pool.fix_misses") = misses_;
   obs->Counter("pool.evictions") = evictions_;

@@ -34,7 +34,9 @@
 
 #include "common/arena.h"
 #include "common/config.h"
+#include "common/lock_order.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "buffer/page_table.h"
 #include "iomodel/sim_disk.h"
 
@@ -83,7 +85,16 @@ enum class FixMode {
   kNew,   ///< do not load: caller will overwrite the whole page
 };
 
-/// Buffer pool over a SimDisk. Not thread-safe (the study is single-user).
+/// Buffer pool over a SimDisk. The study itself is single-user, but the
+/// pool is the first latch point of the planned multi-client serving arc
+/// (ROADMAP item 1), so its shared state is already guarded by an
+/// annotated Mutex at LockRank::kBufferPool: every public entry point
+/// takes the pool latch and the real work happens in `*Locked` private
+/// helpers that statically require it. SimDisk I/O (and through it the
+/// obs/trace charging at ranks 40/50) runs under the pool latch, which is
+/// why kBufferPool sits below kObsRegistry/kTraceSession in the rank
+/// table. Frame pointers handed out via PageGuard stay valid while the
+/// pin is held — the pin, not the latch, is the lifetime contract.
 class BufferPool {
  public:
   BufferPool(SimDisk* disk, const StorageConfig& config);
@@ -94,7 +105,8 @@ class BufferPool {
   /// Pins `page` of `area` in the pool. With kRead the page is fetched on a
   /// miss (one 1-page I/O call); with kNew the frame is zero-initialized.
   [[nodiscard]]
-  StatusOr<PageGuard> FixPage(AreaId area, PageId page, FixMode mode);
+  StatusOr<PageGuard> FixPage(AreaId area, PageId page, FixMode mode)
+      LOB_EXCLUDES(mu_);
 
   /// Reads `n_bytes` starting `byte_off` bytes into the segment that begins
   /// at page `seg_first`, into `dst`, applying the hybrid policy above.
@@ -102,7 +114,7 @@ class BufferPool {
   /// (bytes past it read as zero without validation).
   [[nodiscard]] Status ReadSegmentRange(AreaId area, PageId seg_first,
                           uint64_t seg_valid_bytes, uint64_t byte_off,
-                          uint64_t n_bytes, char* dst);
+                          uint64_t n_bytes, char* dst) LOB_EXCLUDES(mu_);
 
   /// Writes `n_bytes` at `byte_off` into the segment starting at
   /// `seg_first`. Boundary pages that intersect `seg_valid_bytes` and are
@@ -112,7 +124,8 @@ class BufferPool {
   /// immediately in one call.
   [[nodiscard]] Status WriteSegmentRange(AreaId area, PageId seg_first,
                            uint64_t seg_valid_bytes, uint64_t byte_off,
-                           uint64_t n_bytes, const char* src);
+                           uint64_t n_bytes, const char* src)
+      LOB_EXCLUDES(mu_);
 
   /// Writes `n_bytes` into a freshly allocated segment starting at `first`
   /// with a single I/O call, bypassing the pool (zero-padding the last
@@ -121,39 +134,50 @@ class BufferPool {
   /// one sequential write (paper 3.3/3.4).
   [[nodiscard]]
   Status WriteFreshSegment(AreaId area, PageId first, const char* data,
-                           uint64_t n_bytes);
+                           uint64_t n_bytes) LOB_EXCLUDES(mu_);
 
   /// Writes back every dirty cached page in [first, first+n_pages) using one
   /// I/O call per maximal contiguous dirty run; pages stay cached clean.
-  [[nodiscard]] Status FlushRun(AreaId area, PageId first, uint32_t n_pages);
+  [[nodiscard]] Status FlushRun(AreaId area, PageId first, uint32_t n_pages)
+      LOB_EXCLUDES(mu_);
 
   /// Writes back all dirty pages (one call per page run per area).
-  [[nodiscard]] Status FlushAll();
+  [[nodiscard]] Status FlushAll() LOB_EXCLUDES(mu_);
 
   /// Drops cached copies of [first, first+n_pages): dirty pages are *not*
   /// written back (their content is superseded); pinned pages are an error.
-  [[nodiscard]] Status Invalidate(AreaId area, PageId first, uint32_t n_pages);
+  [[nodiscard]] Status Invalidate(AreaId area, PageId first, uint32_t n_pages)
+      LOB_EXCLUDES(mu_);
 
   /// True if the page currently resides in the pool.
-  bool IsCached(AreaId area, PageId page) const;
-  bool IsDirty(AreaId area, PageId page) const;
+  bool IsCached(AreaId area, PageId page) const LOB_EXCLUDES(mu_);
+  bool IsDirty(AreaId area, PageId page) const LOB_EXCLUDES(mu_);
 
   uint32_t pool_pages() const { return config_.buffer_pool_pages; }
   uint32_t page_size() const { return config_.page_size; }
   SimDisk* disk() const { return disk_; }
 
   /// Number of FixPage calls served without disk I/O (for tests/metrics).
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const LOB_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return hits_;
+  }
+  uint64_t misses() const LOB_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return misses_;
+  }
   /// Number of valid frames evicted to make room (dirty or clean).
-  uint64_t evictions() const { return evictions_; }
+  uint64_t evictions() const LOB_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return evictions_;
+  }
 
   /// Copies the pool counters into `obs` as the `pool.fix_hits`,
   /// `pool.fix_misses` and `pool.evictions` counters (overwriting, not
   /// accumulating, so repeated exports stay idempotent). The counters
   /// live here as plain fields to keep FixPage off the registry's map
   /// lookups; exporters call this at snapshot time instead.
-  void PublishCounters(ObsRegistry* obs) const;
+  void PublishCounters(ObsRegistry* obs) const LOB_EXCLUDES(mu_);
 
   /// One entry of the ordered cached-page enumeration below.
   struct CachedPage {
@@ -175,7 +199,7 @@ class BufferPool {
   /// ordering into exporters (tools/lob_lint.py rule LOB002/unordered-iter
   /// rejects such iteration; the buffer_pool_test permutation test pins
   /// this function's insertion-order independence).
-  std::vector<CachedPage> CachedPagesSorted() const;
+  std::vector<CachedPage> CachedPagesSorted() const LOB_EXCLUDES(mu_);
 
  private:
   friend class PageGuard;
@@ -192,53 +216,72 @@ class BufferPool {
     uint64_t lru = 0;
   };
 
-  char* SlotData(uint32_t slot) {
+  char* SlotData(uint32_t slot) LOB_REQUIRES(mu_) {
     return arena_.data() + static_cast<size_t>(slot) * config_.page_size;
   }
-  const char* SlotData(uint32_t slot) const {
+  const char* SlotData(uint32_t slot) const LOB_REQUIRES(mu_) {
     return arena_.data() + static_cast<size_t>(slot) * config_.page_size;
   }
 
   /// The frame's current bytes: the borrowed image or the pool slot.
-  const char* FrameData(uint32_t slot) const {
+  const char* FrameDataLocked(uint32_t slot) const LOB_REQUIRES(mu_) {
     const Frame& f = frames_[slot];
     return f.borrow != nullptr ? f.borrow : SlotData(slot);
   }
 
   /// Copies a borrowed image into the frame's pool slot (no-op when
   /// already materialized) and returns the now-private slot bytes.
-  char* MaterializeSlot(uint32_t slot);
+  char* MaterializeSlotLocked(uint32_t slot) LOB_REQUIRES(mu_);
 
   static uint64_t Key(AreaId area, PageId page) {
     return (static_cast<uint64_t>(area) << 32) | page;
   }
 
-  int FindSlot(AreaId area, PageId page) const;
+  int FindSlot(AreaId area, PageId page) const LOB_REQUIRES(mu_);
+
+  /// Core of FixPage: pins (area, page) and returns its slot. The public
+  /// wrapper turns the slot into a PageGuard; segment-range internals use
+  /// the slot directly (paired with UnpinLocked) so they can fix pages
+  /// without dropping and re-taking the pool latch.
+  [[nodiscard]]
+  StatusOr<uint32_t> FixSlotLocked(AreaId area, PageId page, FixMode mode)
+      LOB_REQUIRES(mu_);
 
   /// Picks a victim frame (unpinned; clean preferred, then LRU), writing a
   /// dirty victim back. Returns slot or error if everything is pinned.
-  [[nodiscard]] StatusOr<uint32_t> GetFreeSlot();
+  [[nodiscard]] StatusOr<uint32_t> GetFreeSlot() LOB_REQUIRES(mu_);
 
   /// Evicts whatever lives in `slot` (must be unpinned), flushing if dirty.
-  [[nodiscard]] Status EvictSlot(uint32_t slot);
+  [[nodiscard]] Status EvictSlot(uint32_t slot) LOB_REQUIRES(mu_);
 
   /// Flushes (if dirty) and drops any cached pages within the range.
   /// Fails if one of them is pinned.
   [[nodiscard]]
-  Status FlushAndDropRange(AreaId area, PageId first, uint32_t n_pages);
+  Status FlushAndDropRange(AreaId area, PageId first, uint32_t n_pages)
+      LOB_REQUIRES(mu_);
 
-  void Unpin(uint32_t slot);
+  [[nodiscard]]
+  Status FlushRunLocked(AreaId area, PageId first, uint32_t n_pages)
+      LOB_REQUIRES(mu_);
 
-  SimDisk* disk_;
-  StorageConfig config_;
-  std::vector<char> arena_;
-  std::vector<Frame> frames_;
-  PageTable map_;
-  ScratchArena scratch_;  ///< staging for run I/O gather/scatter arrays
-  uint64_t tick_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  void UnpinLocked(uint32_t slot) LOB_REQUIRES(mu_);
+  void Unpin(uint32_t slot) LOB_EXCLUDES(mu_);
+
+  /// Pool latch (LockRank::kBufferPool). `mutable` so const inspection
+  /// entry points (IsCached, CachedPagesSorted, SaveState, counters) can
+  /// take it too.
+  mutable Mutex mu_{LockRank::kBufferPool};
+  SimDisk* const disk_;
+  const StorageConfig config_;
+  std::vector<char> arena_ LOB_GUARDED_BY(mu_);
+  std::vector<Frame> frames_ LOB_GUARDED_BY(mu_);
+  PageTable map_ LOB_GUARDED_BY(mu_);
+  /// Staging for run I/O gather/scatter arrays.
+  ScratchArena scratch_ LOB_GUARDED_BY(mu_);
+  uint64_t tick_ LOB_GUARDED_BY(mu_) = 0;
+  uint64_t hits_ LOB_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ LOB_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ LOB_GUARDED_BY(mu_) = 0;
 
  public:
   /// Opaque snapshot of the cached state: page contents, frame table,
@@ -262,8 +305,8 @@ class BufferPool {
     uint64_t misses = 0;
     uint64_t evictions = 0;
   };
-  State SaveState() const;
-  void RestoreState(const State& state);
+  State SaveState() const LOB_EXCLUDES(mu_);
+  void RestoreState(const State& state) LOB_EXCLUDES(mu_);
 };
 
 }  // namespace lob

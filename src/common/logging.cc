@@ -1,0 +1,33 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+
+#include "common/lock_order.h"
+
+namespace lob::internal {
+
+namespace {
+
+/// The warn-log sink mutex. Rank kLogSink is the table maximum: any code
+/// path — including BufferPool eviction or SimDisk attribution running
+/// under their own locks — may emit a warning without inverting the rank
+/// order. Constant-initialized (constexpr ctor), so warnings from static
+/// initializers are safe too.
+Mutex& LogSinkMutex() {
+  static Mutex mu(LockRank::kLogSink);
+  return mu;
+}
+
+}  // namespace
+
+void LogWarn(const char* file, int line, const char* fmt, ...) {
+  char msg[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
+  va_end(args);
+  MutexLock lock(&LogSinkMutex());
+  std::fprintf(stderr, "[lob:warn] %s:%d: %s\n", file, line, msg);
+}
+
+}  // namespace lob::internal

@@ -7,10 +7,8 @@
 #ifndef LOB_COMMON_LOGGING_H_
 #define LOB_COMMON_LOGGING_H_
 
-#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
 namespace lob::internal {
 
@@ -23,24 +21,15 @@ namespace lob::internal {
 /// Serializes warning lines: the parallel experiment engine runs one
 /// bench cell per worker thread, and interleaved fprintf fragments from
 /// concurrent warnings would be unreadable (and flagged by TSan on some
-/// libc builds). One mutex-guarded fprintf per warning line.
-inline std::mutex& LogSinkMutex() {
-  static std::mutex mu;
-  return mu;
-}
-
+/// libc builds). Implemented in logging.cc behind an annotated
+/// lob::Mutex at LockRank::kLogSink — the innermost rank, so a warning
+/// can be emitted while holding any other lock in the tree. (This header
+/// deliberately does not include lock_order.h: lock_order.h uses
+/// LOB_CHECK-style aborts, so the sink mutex lives out of line.)
 #if defined(__GNUC__)
 __attribute__((format(printf, 3, 4)))
 #endif
-inline void LogWarn(const char* file, int line, const char* fmt, ...) {
-  char msg[1024];
-  va_list args;
-  va_start(args, fmt);
-  std::vsnprintf(msg, sizeof(msg), fmt, args);
-  va_end(args);
-  std::lock_guard<std::mutex> lock(LogSinkMutex());
-  std::fprintf(stderr, "[lob:warn] %s:%d: %s\n", file, line, msg);
-}
+void LogWarn(const char* file, int line, const char* fmt, ...);
 
 }  // namespace lob::internal
 

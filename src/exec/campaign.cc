@@ -6,7 +6,9 @@
 #include <memory>
 
 #include "check/fsck.h"
+#include "common/lock_order.h"
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 #include "common/rng.h"
 #include "core/factory.h"
 #include "exec/parallel_runner.h"
@@ -252,9 +254,26 @@ StatusOr<CampaignResult> RunCampaign(const Trace& trace,
   // any worker count.
   ThreadPool pool(options.jobs == 0 ? 1 : options.jobs);
   ParallelRunner runner(&pool);
+  // Opt-in progress meter: the one piece of state the cell workers share.
+  // Guarded by an annotated Mutex at LockRank::kCampaign; cells hold no
+  // other lock when they finish, so the rank never composes with the
+  // storage-layer ranks inside RunCell (each cell owns a private system).
+  struct Progress {
+    Mutex mu{LockRank::kCampaign};
+    size_t done LOB_GUARDED_BY(mu) = 0;
+  } progress;
+  const size_t total = points.size();
   auto mapped = runner.Map<CampaignCell>(
       points.size(), [&](size_t i, JobOutput* /*out*/) {
-        return RunCell(points[i].first, points[i].second, trace, options);
+        CampaignCell cell =
+            RunCell(points[i].first, points[i].second, trace, options);
+        if (options.progress) {
+          MutexLock lock(&progress.mu);
+          ++progress.done;
+          std::fprintf(stderr, "campaign: %zu/%zu cells\n", progress.done,
+                       total);
+        }
+        return cell;
       });
   result.cells = std::move(mapped.values);
   return result;

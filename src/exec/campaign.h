@@ -39,6 +39,13 @@ struct CampaignOptions {
   /// identical to the exhaustive run restricted to the sampled rows.
   uint32_t stride = 1;
 
+  /// When set, workers report "campaign: <done>/<total> cells" on stderr
+  /// as cells finish, through a latched shared counter
+  /// (LockRank::kCampaign). Off by default: completion order is
+  /// wall-clock-dependent, so progress stays off the deterministic
+  /// stdout formats and off by default for byte-compare runs.
+  bool progress = false;
+
   /// Structural parameters of the three engines under test.
   uint32_t esm_leaf_pages = 4;
   uint32_t eos_threshold_pages = 4;

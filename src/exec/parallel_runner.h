@@ -35,6 +35,14 @@ namespace lob {
 
 /// Per-job text sink plus the job's self-reported modeled cost. Jobs print
 /// through this instead of stdout so parallel runs stay byte-deterministic.
+///
+/// Thread-confinement contract (why this class carries no Mutex): each
+/// JobOutput is constructed inside Map's task lambda, touched only by the
+/// one worker running that job, and read by the submitting thread strictly
+/// after the job's future resolves — the future's release/acquire edge
+/// orders the accesses. It must never be shared across jobs; shared
+/// cross-worker state belongs behind an annotated Mutex with a rank
+/// (see campaign.cc's progress counter for the pattern).
 class JobOutput {
  public:
   /// printf into the buffer.

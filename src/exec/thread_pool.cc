@@ -16,10 +16,10 @@ ThreadPool::ThreadPool(unsigned workers) : workers_(workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
@@ -27,8 +27,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Explicit wait loop (not a predicate lambda): Clang's thread-safety
+      // analysis cannot see the held capability inside a lambda body, so
+      // the canonical while-form keeps the guarded reads checkable.
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) {
         if (stop_) return;  // drained: pending tasks always run
         continue;

@@ -14,15 +14,16 @@
 #ifndef LOB_EXEC_THREAD_POOL_H_
 #define LOB_EXEC_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/lock_order.h"
+#include "common/thread_annotations.h"
 
 namespace lob {
 
@@ -43,7 +44,7 @@ class ThreadPool {
   /// Enqueues `fn` and returns the future of its result. With zero
   /// workers the task runs inline on the calling thread.
   template <typename F, typename R = std::invoke_result_t<std::decay_t<F>&>>
-  std::future<R> Submit(F&& fn) {
+  std::future<R> Submit(F&& fn) LOB_EXCLUDES(mu_) {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
@@ -52,22 +53,24 @@ class ThreadPool {
       return future;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       queue_.emplace_back([task] { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return future;
   }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() LOB_EXCLUDES(mu_);
 
   const unsigned workers_;
+  // LOBLINT(lock-rank): owner-thread confined — written only by the
+  // constructor and joined by the destructor; workers never touch it.
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_{LockRank::kThreadPool};
+  std::deque<std::function<void()>> queue_ LOB_GUARDED_BY(mu_);
+  CondVar cv_;
+  bool stop_ LOB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace lob

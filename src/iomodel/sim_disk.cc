@@ -55,7 +55,9 @@ void SimDisk::AccountCall(bool is_read, uint32_t n_pages) {
             current_op_ != nullptr ? current_op_ : ObsRegistry::kUnattributed);
         attr_gen_ = obs_->attribution_generation();
       }
-      static_cast<ObsRegistry::OpRecord*>(attr_rec_)->io += call;
+      // Charge through the registry latch: AccountCall can run under the
+      // BufferPool latch (rank 30 < kObsRegistry 40, so the order holds).
+      obs_->AttributeTo(static_cast<ObsRegistry::OpRecord*>(attr_rec_), call);
     }
 #if LOB_TRACING
     if (trace_ != nullptr) {

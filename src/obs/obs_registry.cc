@@ -142,6 +142,7 @@ uint64_t Histogram::BucketLowerBound(int i) {
 }
 
 void ObsRegistry::RecordOpEnd(const char* label, const IoStats& op_delta) {
+  MutexLock lock(&mu_);
   // One heterogeneous lookup per op end; the label's ledger record and
   // histogram destinations are resolved (and their name strings built)
   // only the first time the label is seen.
@@ -150,10 +151,10 @@ void ObsRegistry::RecordOpEnd(const char* label, const IoStats& op_delta) {
     const std::string base(label);
     OpEndEntry e;
     e.rec = &ops_[base];
-    e.ms = &Histo(base + ".ms");
+    e.ms = &HistoLocked(base + ".ms");
     if (high_res_ops_) e.ms->EnableSubBuckets();
-    e.seeks = &Histo(base + ".seeks");
-    e.pages = &Histo(base + ".pages");
+    e.seeks = &HistoLocked(base + ".seeks");
+    e.pages = &HistoLocked(base + ".pages");
     it = op_end_memo_.emplace(base, e).first;
   }
   const OpEndEntry& e = it->second;
@@ -165,6 +166,7 @@ void ObsRegistry::RecordOpEnd(const char* label, const IoStats& op_delta) {
 }
 
 IoStats ObsRegistry::AttributedTotal() const {
+  MutexLock lock(&mu_);
   IoStats total;
   for (const auto& [label, rec] : ops_) total += rec.io;
   return total;
@@ -180,6 +182,9 @@ bool ObsRegistry::ConservationHolds(const IoStats& global) const {
 }
 
 void ObsRegistry::MergeFrom(const ObsRegistry& other) {
+  // Destination latch only; `other` is read bare under the quiesced-source
+  // contract (see the header) since kObsRegistry cannot nest with itself.
+  MutexLock lock(&mu_);
   for (const auto& [label, rec] : other.ops_) {
     OpRecord& mine = ops_[label];
     mine.count += rec.count;
@@ -192,6 +197,7 @@ void ObsRegistry::MergeFrom(const ObsRegistry& other) {
 }
 
 void ObsRegistry::Reset() {
+  MutexLock lock(&mu_);
   ops_.clear();
   counters_.clear();
   histograms_.clear();
@@ -200,6 +206,7 @@ void ObsRegistry::Reset() {
 }
 
 std::string ObsRegistry::ToJson() const {
+  MutexLock lock(&mu_);
   std::string out = "{\n  \"ops\": {";
   bool first = true;
   for (const auto& [label, rec] : ops_) {
@@ -252,6 +259,7 @@ std::string ObsRegistry::ToJson() const {
 }
 
 std::string ObsRegistry::ToCsv() const {
+  MutexLock lock(&mu_);
   std::string out =
       "op,count,read_calls,write_calls,pages_read,pages_written,seeks,pages,"
       "ms\n";

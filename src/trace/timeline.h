@@ -25,6 +25,9 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_order.h"
+#include "common/thread_annotations.h"
+
 namespace lob {
 
 /// One snapshot of storage state after `ops_done` mix operations.
@@ -60,20 +63,29 @@ class TimelineSampler {
     return every_n_ > 0 && ops_done % every_n_ == 0;
   }
 
-  void Add(const TimelineSample& sample) { samples_.push_back(sample); }
+  void Add(const TimelineSample& sample) LOB_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    samples_.push_back(sample);
+  }
 
-  const std::vector<TimelineSample>& samples() const { return samples_; }
+  /// Thread-compatible accessor (escaping reference; quiesced readers).
+  const std::vector<TimelineSample>& samples() const LOB_UNLOCKED_ACCESS {
+    return samples_;
+  }
   uint32_t every_n() const { return every_n_; }
 
   /// Column header shared by every timeline CSV file.
   static std::string CsvHeader();
 
   /// Appends one row per sample, tagged with `label` (RFC-4180 escaped).
-  void AppendCsv(const std::string& label, std::string* out) const;
+  void AppendCsv(const std::string& label, std::string* out) const
+      LOB_EXCLUDES(mu_);
 
  private:
-  uint32_t every_n_;
-  std::vector<TimelineSample> samples_;
+  /// Sampler latch (LockRank::kTimeline); mutable for the const exporter.
+  mutable Mutex mu_{LockRank::kTimeline};
+  const uint32_t every_n_;
+  std::vector<TimelineSample> samples_ LOB_GUARDED_BY(mu_);
 };
 
 }  // namespace lob

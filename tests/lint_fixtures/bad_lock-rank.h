@@ -1,0 +1,21 @@
+// LOBLINT-FIXTURE-PATH: src/esm/bad_rank.h
+//
+// A lob::Mutex declared without naming its LockRank: the run-time order
+// checker cannot place it in the acquisition order, so a deadlock cycle
+// through it would go undetected.
+
+#ifndef LOB_TESTS_LINT_FIXTURES_BAD_LOCK_RANK_H_
+#define LOB_TESTS_LINT_FIXTURES_BAD_LOCK_RANK_H_
+
+#include "common/lock_order.h"
+
+namespace lob {
+
+class BadRank {
+ private:
+  Mutex mu_;  // BAD: no LockRank named
+};
+
+}  // namespace lob
+
+#endif  // LOB_TESTS_LINT_FIXTURES_BAD_LOCK_RANK_H_

@@ -1,0 +1,17 @@
+// LOBLINT-FIXTURE-PATH: src/common/fake_sync.cc
+//
+// src/common/ is the one place raw primitives are allowed: it is where
+// the ranked lob::Mutex wrappers themselves are implemented.
+
+#include <mutex>
+
+namespace lob {
+
+int Counter() {
+  static std::mutex mu;
+  static int count = 0;
+  std::lock_guard<std::mutex> lock(mu);
+  return ++count;
+}
+
+}  // namespace lob

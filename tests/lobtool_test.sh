@@ -95,6 +95,16 @@ rc=$?
 set -e
 [ "$rc" -eq 2 ] || fail "bench-diff bad input should exit 2 (got $rc)"
 
+# locks: the rank-table dump must list every registered lock in strictly
+# ascending rank order and stay in sync with common/lock_order.h.
+"$LOBTOOL" locks > "$DIR/locks.txt" || fail "locks exit"
+for id in exec.thread_pool exec.campaign buffer.pool obs.registry \
+          trace.session trace.timeline common.log_sink; do
+  grep -q "$id" "$DIR/locks.txt" || fail "locks table missing $id"
+done
+awk 'NR > 1 { if ($2 + 0 <= prev) exit 1; prev = $2 + 0 }' \
+  "$DIR/locks.txt" || fail "locks ranks not strictly increasing"
+
 "$LOBTOOL" "$DB" rm idx >/dev/null || fail "rm"
 "$LOBTOOL" "$DB" info | grep -q 'objects: *2' || fail "info after rm"
 

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Proves the thread-safety gate bites, from both sides:
+#
+#   1. Every fixture in tests/thread_safety_fixtures/ compiles under the
+#      default (non-Clang) compiler — the LOB_* annotation macros must be
+#      zero-cost no-ops outside Clang.
+#   2. Under clang++ -Wthread-safety -Werror=thread-safety the good_
+#      fixture still compiles and every bad_ fixture FAILS with a
+#      thread-safety diagnostic.
+#
+# Usage: thread_safety_compile_test.sh <repo-root>
+# Exit: 0 pass, 1 fail, 77 = clang++ unavailable (Clang half skipped;
+# ctest maps 77 to SKIPPED via SKIP_RETURN_CODE).
+
+set -u
+ROOT="$1"
+FIXDIR="$ROOT/tests/thread_safety_fixtures"
+FLAGS="-std=c++20 -I$ROOT/src -c -o /dev/null"
+
+CXX_BASE="${CXX:-c++}"
+ERR=$(mktemp)
+trap 'rm -f "$ERR"' EXIT
+
+fail=0
+
+echo "== pass 1: annotations are no-ops under $CXX_BASE =="
+for f in "$FIXDIR"/*.cc; do
+  if ! $CXX_BASE $FLAGS "$f" 2>"$ERR"; then
+    echo "FAIL: $f does not compile under $CXX_BASE:"
+    cat "$ERR"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+
+if ! command -v clang++ >/dev/null 2>&1; then
+  echo "SKIP: clang++ not on PATH; -Wthread-safety analysis not checked"
+  exit 77
+fi
+
+echo "== pass 2: clang++ -Wthread-safety enforces the annotations =="
+CLANG_FLAGS="$FLAGS -Wthread-safety -Werror=thread-safety"
+
+for f in "$FIXDIR"/good_*.cc; do
+  if ! clang++ $CLANG_FLAGS "$f" 2>"$ERR"; then
+    echo "FAIL: $f must be clean under -Wthread-safety:"
+    cat "$ERR"
+    fail=1
+  fi
+done
+
+for f in "$FIXDIR"/bad_*.cc; do
+  if clang++ $CLANG_FLAGS "$f" 2>"$ERR"; then
+    echo "FAIL: $f compiled, but -Wthread-safety must reject it"
+    fail=1
+  elif ! grep -q "thread-safety" "$ERR"; then
+    echo "FAIL: $f failed for a reason other than thread-safety:"
+    cat "$ERR"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "thread-safety compile fixtures: all checks passed"

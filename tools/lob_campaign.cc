@@ -1,14 +1,16 @@
 // lob_campaign: fault-injection campaign CLI.
 //
-//   lob_campaign <trace-file|--demo> [--jobs=N] [--stride=K]
+//   lob_campaign <trace-file|--demo> [--jobs=N] [--stride=K] [--progress]
 //                [--format=csv|json] [--out=FILE]
 //
 // Replays the trace against all three engines, once per fault point k
 // (fail the (k+1)-th attributed I/O call), runs fsck over each outcome and
 // emits the (engine, op, k) classification matrix. The matrix is
-// byte-identical for any --jobs value. Exit status: 0 when every cell is
-// clean-pass or clean-fail, 1 when any leak or corrupt cell exists, 2 on
-// usage/setup errors.
+// byte-identical for any --jobs value. --progress reports completed-cell
+// counts on stderr as workers finish (off by default: completion order is
+// wall-clock-dependent, so it stays away from byte-compare runs). Exit
+// status: 0 when every cell is clean-pass or clean-fail, 1 when any leak
+// or corrupt cell exists, 2 on usage/setup errors.
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,7 +27,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: lob_campaign <trace-file|--demo> [--jobs=N] "
-               "[--stride=K] [--format=csv|json] [--out=FILE]\n");
+               "[--stride=K] [--progress] [--format=csv|json] "
+               "[--out=FILE]\n");
   return 2;
 }
 
@@ -49,6 +52,8 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--stride=", 0) == 0) {
       options.stride =
           static_cast<uint32_t>(std::strtoul(arg.c_str() + 9, nullptr, 10));
+    } else if (arg == "--progress") {
+      options.progress = true;
     } else if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(9);
     } else if (arg.rfind("--out=", 0) == 0) {

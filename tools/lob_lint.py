@@ -54,6 +54,21 @@ break them. Rules (stable IDs, see RULES below):
                           rollback on error, Commit() after the durable
                           install. Allocator internals (src/buddy) and code
                           outside the engines are exempt.
+  LOB008 raw-sync         No raw std synchronization primitives (std::mutex
+                          family, lock_guard/unique_lock/scoped_lock,
+                          condition_variable, call_once) outside src/common/.
+                          All locking goes through lob::Mutex / MutexLock /
+                          CondVar (common/lock_order.h) so every acquisition
+                          carries a LockRank, is order-checked at run time,
+                          and is visible to Clang -Wthread-safety.
+  LOB009 lock-rank        Every lob::Mutex / SharedMutex declaration names
+                          its rank (LockRank::k...) from the table in
+                          common/lock_order.h, and mutable members of a
+                          mutex-holding class carry LOB_GUARDED_BY /
+                          LOB_PT_GUARDED_BY (const/static members, the
+                          mutex itself and CondVars are exempt; genuinely
+                          unguarded state needs a LOBLINT(lock-rank)
+                          suppression stating the confinement argument).
 
 Suppressions
 ------------
@@ -86,6 +101,8 @@ RULES = {
     "header-hygiene": "LOB005",
     "ignore-status": "LOB006",
     "extent-guard": "LOB007",
+    "raw-sync": "LOB008",
+    "lock-rank": "LOB009",
 }
 
 # ----------------------------------------------------------------- scoping
@@ -127,9 +144,17 @@ ATTRIBUTION_SCOPE_PREFIXES = ("src/",)
 EXTENT_GUARD_SCOPE_PREFIXES = (
     "src/esm/", "src/starburst/", "src/eos/", "src/lobtree/", "src/core/")
 
+# Raw-sync scope: the library, bench and tool trees must lock through the
+# ranked lob::Mutex wrappers; src/common/ is where the wrappers live.
+RAW_SYNC_SCOPE_PREFIXES = ("src/", "bench/", "tools/")
+RAW_SYNC_ALLOW_PREFIXES = ("src/common/",)
+
+LOCK_RANK_SCOPE_PREFIXES = ("src/", "bench/", "tools/")
+
 SCAN_DIRS = ("src", "bench", "tools", "examples", "tests")
 SCAN_EXTS = (".h", ".cc", ".cpp")
-EXCLUDE_PARTS = ("lint_fixtures",)
+# thread_safety_fixtures are deliberately-broken clang compile-fail inputs.
+EXCLUDE_PARTS = ("lint_fixtures", "thread_safety_fixtures")
 
 FIXTURE_PATH_RE = re.compile(r"LOBLINT-FIXTURE-PATH:\s*(\S+)")
 SUPPRESS_RE = re.compile(r"LOBLINT\(([\w-]+)\)\s*:\s*(\S.*)")
@@ -500,6 +525,104 @@ def check_ignore_status(path, code, comments, findings):
                 "losing this error is sound (same or preceding line)"))
 
 
+RAW_SYNC_RE = re.compile(
+    r"\bstd\s*::\s*(mutex|recursive_mutex|recursive_timed_mutex|timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any|call_once|"
+    r"once_flag)\b")
+
+
+def check_raw_sync(path, code, findings):
+    if not path.startswith(RAW_SYNC_SCOPE_PREFIXES):
+        return
+    if path.startswith(RAW_SYNC_ALLOW_PREFIXES):
+        return
+    for idx, line in enumerate(code, start=1):
+        m = RAW_SYNC_RE.search(line)
+        if m:
+            findings.append(Finding(
+                path, idx, "raw-sync",
+                "raw std::%s outside src/common/; lock through lob::Mutex / "
+                "MutexLock / CondVar (common/lock_order.h) so the "
+                "acquisition carries a LockRank, is order-checked, and is "
+                "visible to Clang -Wthread-safety" % m.group(1)))
+
+
+# A lob Mutex/SharedMutex variable declaration: type, name, then an
+# initializer bracket or a bare `;`. `MutexLock`, `Mutex*`, `Mutex&` and
+# constructor declarations (`Mutex(` with no name) do not match.
+MUTEX_DECL_RE = re.compile(r"\b(Mutex|SharedMutex)\s+(\w+)\s*[({;]")
+# A data member with the project's trailing-underscore naming, terminated
+# by `;`, `=` or a brace initializer.
+MEMBER_RE = re.compile(r"\b([A-Za-z]\w*_)\s*(?:;|=[^=]|\{)")
+MEMBER_EXEMPT_RE = re.compile(
+    r"\b(const|static|constexpr|friend|using|typedef|return|"
+    r"Mutex|SharedMutex|CondVar)\b")
+
+
+def _line_start_depths(code):
+    """depths[i] = brace depth at the start of line i+1 (code text only)."""
+    depths = []
+    depth = 0
+    for line in code:
+        depths.append(depth)
+        depth += line.count("{") - line.count("}")
+    return depths
+
+
+def check_lock_rank(path, code, findings):
+    if not path.startswith(LOCK_RANK_SCOPE_PREFIXES):
+        return
+    depths = _line_start_depths(code)
+    ranked_decl_lines = []
+    for idx, line in enumerate(code, start=1):
+        m = MUTEX_DECL_RE.search(line)
+        if not m:
+            continue
+        if "LockRank::" in line:
+            ranked_decl_lines.append(idx)
+        else:
+            findings.append(Finding(
+                path, idx, "lock-rank",
+                "%s '%s' declared without a LockRank; every lock names its "
+                "rank from the table in common/lock_order.h so acquisition "
+                "order is checkable" % (m.group(1), m.group(2))))
+
+    # Members of a mutex-holding scope must be guarded: shared mutable state
+    # next to a lock is either protected by it (annotate LOB_GUARDED_BY) or
+    # confined by some other argument (suppress with LOBLINT(lock-rank)).
+    flagged = set()
+    for decl_line in ranked_decl_lines:
+        d = depths[decl_line - 1]
+        if d < 1:
+            continue  # namespace/file scope: nothing to pair it with
+        lo = decl_line - 1  # 0-based index of the decl line
+        while lo > 0 and depths[lo - 1] >= d:
+            lo -= 1
+        hi = decl_line
+        while hi < len(code) and depths[hi] >= d:
+            hi += 1
+        for idx in range(lo + 1, hi + 1):  # 1-based line numbers
+            if depths[idx - 1] != d or idx in flagged:
+                continue
+            line = code[idx - 1]
+            if "LOB_GUARDED_BY" in line or "LOB_PT_GUARDED_BY" in line:
+                continue
+            if MEMBER_EXEMPT_RE.search(line):
+                continue
+            mm = MEMBER_RE.search(line)
+            if not mm:
+                continue
+            if "(" in line[:mm.start(1)]:
+                continue  # method signature / call, not a data member
+            flagged.add(idx)
+            findings.append(Finding(
+                path, idx, "lock-rank",
+                "member '%s' in a mutex-holding scope lacks LOB_GUARDED_BY; "
+                "annotate which lock protects it (or justify confinement "
+                "with a LOBLINT(lock-rank) suppression)" % mm.group(1)))
+
+
 # --------------------------------------------------------------- the driver
 
 def lint_text(path, text):
@@ -527,6 +650,8 @@ def lint_text(path, text):
     check_header_hygiene(effective, code, findings)
     check_ignore_status(effective, code, comments, findings)
     check_extent_guard(effective, code, findings)
+    check_raw_sync(effective, code, findings)
+    check_lock_rank(effective, code, findings)
 
     # Apply suppressions.
     file_suppressed = set()

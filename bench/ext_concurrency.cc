@@ -1,0 +1,230 @@
+// Extension: intra-database concurrency. The paper measures one client
+// at a time; this bench runs N logical clients whose interleaved
+// operation streams share ONE database and one modeled disk arm (see
+// src/workload/multi_client.h). The modeled disk queue charges each op a
+// queueing delay separately from seek+transfer service time, so the grid
+// shows how per-op latency decomposes as load grows: service cost stays
+// flat while queue wait climbs with the client count.
+//
+// Grid: clients x engine x mix. Every cell is one fan-out job with a
+// private StorageSystem; the scheduler and all client streams are
+// seeded, so output bytes are identical for any --jobs value. Each cell
+// ends with a cross-engine fsck over every client object (clean storage
+// is part of the bench's pass condition, not just its numbers).
+//
+// Extra flags (on top of bench_common.h's):
+//   --csv              machine-readable rows instead of tables
+//   --clients=CSV      override the client counts (default 1,4,16)
+//   --client-kb=N      per-client object size in KB (default 256)
+
+#include <cinttypes>
+
+#include "bench/bench_common.h"
+#include "check/fsck.h"
+#include "workload/multi_client.h"
+
+using namespace lob;
+using namespace lob::bench;
+
+namespace {
+
+struct MixShape {
+  const char* name;
+  double read_frac;
+  double insert_frac;
+};
+
+struct CellResult {
+  MultiClientResult run;
+  double queue_p50_ms = 0;
+  double queue_p99_ms = 0;
+  bool fsck_clean = false;
+  std::string snapshot_json;
+};
+
+CellResult RunCell(const EngineSpec& spec, const MixShape& mix,
+                   uint32_t clients, uint64_t client_bytes, uint32_t ops,
+                   uint32_t window, bool print_obs, JobOutput* out,
+                   TraceSession* trace) {
+  StorageSystem sys;
+  sys.disk()->set_trace(trace);
+  auto mgr = spec.make(&sys);
+
+  MultiClientSpec mc;
+  mc.clients = clients;
+  mc.total_ops = ops;
+  mc.window_ops = window;
+  mc.object_bytes = client_bytes;
+  mc.read_frac = mix.read_frac;
+  mc.insert_frac = mix.insert_frac;
+  // Seeded per cell shape (not per job index), so the stream is a pure
+  // function of the configuration.
+  mc.seed = 7 + clients * 31 + (mix.insert_frac > 0.2 ? 1 : 0);
+
+  auto run = RunMultiClient(&sys, mgr.get(), mc);
+  LOB_CHECK_OK(run.status());
+  sys.disk()->set_trace(nullptr);
+
+  CellResult cell;
+  cell.run = *run;
+  cell.queue_p50_ms = run->queue_hist.Quantile(0.5);
+  cell.queue_p99_ms = run->queue_hist.Quantile(0.99);
+
+  // Storage must come out of the concurrent mix consistent: every client
+  // object validates, every extent has exactly one owner, nothing leaks.
+  std::vector<std::pair<ObjectId, LargeObjectManager*>> objects;
+  for (ObjectId id : run->objects) objects.emplace_back(id, mgr.get());
+  auto report = FsckObjects(&sys, objects);
+  LOB_CHECK_OK(report.status());
+  cell.fsck_clean = report->clean();
+  if (!cell.fsck_clean) out->Printf("%s", report->ToString().c_str());
+
+  if (print_obs) PrintOpAttribution(spec.label, &sys, out);
+  cell.snapshot_json = MetricsSnapshot::Collect(&sys).ToJson("    ");
+  out->SetModeledMs(sys.stats().ms + sys.stats().queue_ms);
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const bool csv = FlagPresent(argc, argv, "csv");
+  const uint64_t client_kb =
+      FlagValue(argc, argv, "client-kb", args.quick ? 128 : 256);
+  const uint32_t ops = static_cast<uint32_t>(
+      FlagValue(argc, argv, "ops", args.quick ? 600 : 6000));
+  const uint32_t window = std::max(1u, ops / 4);
+
+  std::vector<uint32_t> client_counts;
+  {
+    const std::string s =
+        FlagValueString(argc, argv, "clients", "1,4,16");
+    size_t pos = 0;
+    while (pos < s.size()) {
+      client_counts.push_back(
+          static_cast<uint32_t>(std::strtoul(s.c_str() + pos, nullptr, 10)));
+      const size_t comma = s.find(',', pos);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  const std::vector<MixShape> mixes = {{"update", 0.4, 0.3},
+                                       {"readmost", 0.7, 0.15}};
+  const std::vector<EngineSpec> specs = {
+      EsmSpecs()[1],  // ESM leaf=4
+      StarburstSpec(),
+      {"EOS T=4",
+       [](StorageSystem* sys) { return CreateEosManager(sys, 4); }}};
+
+  if (!csv) {
+    PrintBanner("ext_concurrency: N clients, one database, one disk arm",
+                "beyond the paper (single-client study; here interleaved "
+                "streams queue on the modeled arm)");
+    std::printf("%u ops per cell, %" PRIu64
+                " KB per client object, clients x engine x mix\n\n",
+                ops, client_kb);
+  }
+
+  std::vector<std::string> cell_labels;
+  struct CellCfg {
+    size_t spec;
+    size_t mix;
+    uint32_t clients;
+  };
+  std::vector<CellCfg> cells;
+  for (size_t m = 0; m < mixes.size(); ++m) {
+    for (size_t s = 0; s < specs.size(); ++s) {
+      for (uint32_t n : client_counts) {
+        cells.push_back({s, m, n});
+        cell_labels.push_back(specs[s].label + " " + mixes[m].name +
+                              " N=" + std::to_string(n));
+      }
+    }
+  }
+
+  // Per-cell trace sessions: each job records only into its own slot and
+  // the merge walks slots in submission order, so trace bytes are
+  // identical for any --jobs (the queue-wait kPhase spans included).
+  std::vector<std::unique_ptr<TraceSession>> traces;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    traces.push_back(args.trace.empty() ? nullptr
+                                        : std::make_unique<TraceSession>());
+  }
+
+  BenchEngine engine("ext_concurrency", args);
+  const size_t cell_base = engine.next_cell_index();
+  Mapped<CellResult> results = engine.Map<CellResult>(
+      cell_labels, [&](size_t i, JobOutput* out) {
+        const CellCfg& c = cells[i];
+        return RunCell(specs[c.spec], mixes[c.mix], c.clients,
+                       client_kb * 1024, ops, window, args.obs, out,
+                       traces[i].get());
+      });
+  for (size_t i = 0; i < cells.size(); ++i) {
+    engine.SetCellSnapshot(cell_base + i,
+                           std::move(results.values[i].snapshot_json));
+  }
+  if (!args.trace.empty()) {
+    std::vector<std::pair<std::string, const TraceSession*>> sessions;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      sessions.emplace_back(cell_labels[i], traces[i].get());
+    }
+    WriteTextFile(args.trace, TraceSession::ChromeTraceJson(sessions));
+  }
+
+  if (csv) {
+    std::printf(
+        "engine,mix,clients,ops,reads,inserts,deletes,service_ms,"
+        "queue_ms,avg_queue_ms,queue_p50_ms,queue_p99_ms,max_queue_ms,"
+        "makespan_ms,fsck_clean\n");
+  }
+  bool all_clean = true;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CellCfg& c = cells[i];
+    const CellResult& r = results.values[i];
+    all_clean = all_clean && r.fsck_clean;
+    if (csv) {
+      std::printf("%s,%s,%u,%u,%u,%u,%u,%.1f,%.1f,%.3f,%.1f,%.1f,%.1f,"
+                  "%.1f,%d\n",
+                  specs[c.spec].label.c_str(), mixes[c.mix].name, c.clients,
+                  r.run.ops, r.run.reads, r.run.inserts, r.run.deletes,
+                  r.run.service_ms, r.run.queue_ms,
+                  r.run.ops ? r.run.queue_ms / r.run.ops : 0.0,
+                  r.queue_p50_ms, r.queue_p99_ms, r.run.max_queue_ms,
+                  r.run.makespan_ms, r.fsck_clean ? 1 : 0);
+    }
+    if (!results.texts[i].empty()) {
+      std::fputs(results.texts[i].c_str(), stdout);
+    }
+  }
+
+  if (!csv) {
+    for (size_t m = 0; m < mixes.size(); ++m) {
+      std::printf("mix %s (%.0f/%.0f/%.0f read/insert/delete)\n",
+                  mixes[m].name, mixes[m].read_frac * 100,
+                  mixes[m].insert_frac * 100,
+                  (1 - mixes[m].read_frac - mixes[m].insert_frac) * 100);
+      std::printf("%16s  %8s  %14s  %14s  %14s  %14s  %6s\n", "engine",
+                  "clients", "service [ms]", "avg queue [ms]",
+                  "queue p99 [ms]", "makespan [ms]", "fsck");
+      for (size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i].mix != m) continue;
+        const CellCfg& c = cells[i];
+        const CellResult& r = results.values[i];
+        std::printf("%16s  %8u  %14.1f  %14.3f  %14.1f  %14.1f  %6s\n",
+                    specs[c.spec].label.c_str(), c.clients, r.run.service_ms,
+                    r.run.ops ? r.run.queue_ms / r.run.ops : 0.0,
+                    r.queue_p99_ms, r.run.makespan_ms,
+                    r.fsck_clean ? "clean" : "DIRTY");
+      }
+      std::printf("\n");
+    }
+    std::printf(
+        "expected: service cost per op is load-independent; queueing\n"
+        "delay is zero for one client and grows with the client count.\n");
+  }
+  engine.Finish();
+  return all_clean ? 0 : 1;
+}

@@ -18,6 +18,22 @@ if [ "${1:-}" = "--full" ]; then SCALE=""; fi
 JOBS="${JOBS:-$(nproc)}"
 if [ "$JOBS" -lt 4 ]; then JOBS=4; fi
 HOST_NOTE="${LOB_BENCH_HOST_NOTE:-}"
+
+# Single-core hosts cannot measure parallel speedup: --jobs=N still runs
+# every cell on the one hardware thread, so wall_ms_jobsN ~= wall_ms_jobs1
+# and the "speedup" column reads ~1.0x without any real regression. Say
+# so loudly in the artifact itself (host_note) instead of letting the
+# suite profile masquerade as a scaling problem; check_perf.py reads
+# hardware_threads and explicitly SKIPs its jobs-scaling gate here.
+if [ "$(nproc)" -eq 1 ]; then
+  WARN="single-core host: jobs-scaling numbers are not meaningful"
+  echo "warning: $WARN" >&2
+  if [ -n "$HOST_NOTE" ]; then
+    HOST_NOTE="$HOST_NOTE; $WARN"
+  else
+    HOST_NOTE="$WARN"
+  fi
+fi
 export LOB_BENCH_HOST_NOTE="$HOST_NOTE"
 
 if [ ! -f build/CMakeCache.txt ]; then
@@ -45,6 +61,7 @@ BENCHES=(
   ext_esm_insert_ablation
   ext_summary_comparison
   ext_multi_object
+  ext_concurrency
 )
 
 now_ms() { echo $(( $(date +%s%N) / 1000000 )); }

@@ -34,7 +34,7 @@ PageGuard::~PageGuard() { Release(); }
 
 const char* PageGuard::data() const {
   LOB_CHECK(pool_ != nullptr);
-  MutexLock lock(&pool_->mu_);
+  ReaderMutexLock lock(&pool_->mu_);
   // The returned pointer outlives the latch but not the pin: frame slots
   // and borrowed page images are stable while the pin count is non-zero.
   return pool_->FrameDataLocked(slot_);
@@ -42,13 +42,13 @@ const char* PageGuard::data() const {
 
 char* PageGuard::mutable_data() {
   LOB_CHECK(pool_ != nullptr);
-  MutexLock lock(&pool_->mu_);
+  WriterMutexLock lock(&pool_->mu_);
   return pool_->MaterializeSlotLocked(slot_);
 }
 
 void PageGuard::MarkDirty() {
   LOB_CHECK(pool_ != nullptr);
-  MutexLock lock(&pool_->mu_);
+  WriterMutexLock lock(&pool_->mu_);
   pool_->MaterializeSlotLocked(slot_);
   pool_->frames_[slot_].dirty = true;
 }
@@ -91,7 +91,7 @@ void BufferPool::UnpinLocked(uint32_t slot) {
 }
 
 void BufferPool::Unpin(uint32_t slot) {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   UnpinLocked(slot);
 }
 
@@ -147,7 +147,7 @@ StatusOr<uint32_t> BufferPool::GetFreeSlot() {
 
 StatusOr<PageGuard> BufferPool::FixPage(AreaId area, PageId page,
                                         FixMode mode) {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   auto slot_or = FixSlotLocked(area, page, mode);
   if (!slot_or.ok()) return slot_or.status();
   return PageGuard(this, *slot_or);
@@ -219,7 +219,7 @@ Status BufferPool::ReadSegmentRange(AreaId area, PageId seg_first,
   if (byte_off + n_bytes > seg_valid_bytes) {
     return Status::OutOfRange("read past segment valid bytes");
   }
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   const uint64_t P = config_.page_size;
   const PageId p0 = seg_first + static_cast<PageId>(byte_off / P);
   const PageId p1 =
@@ -384,7 +384,7 @@ Status BufferPool::WriteSegmentRange(AreaId area, PageId seg_first,
                                      uint64_t byte_off, uint64_t n_bytes,
                                      const char* src) {
   if (n_bytes == 0) return Status::OK();
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   const uint64_t P = config_.page_size;
   const PageId p0 = seg_first + static_cast<PageId>(byte_off / P);
   const PageId p1 =
@@ -470,7 +470,7 @@ Status BufferPool::WriteSegmentRange(AreaId area, PageId seg_first,
 Status BufferPool::WriteFreshSegment(AreaId area, PageId first,
                                      const char* data, uint64_t n_bytes) {
   if (n_bytes == 0) return Status::OK();
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   const uint64_t P = config_.page_size;
   const uint32_t np = static_cast<uint32_t>((n_bytes + P - 1) / P);
   // Full pages gather straight from the caller's buffer; only a partial
@@ -509,7 +509,7 @@ Status BufferPool::WriteFreshSegment(AreaId area, PageId first,
 }
 
 Status BufferPool::FlushRun(AreaId area, PageId first, uint32_t n_pages) {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   return FlushRunLocked(area, first, n_pages);
 }
 
@@ -554,7 +554,7 @@ Status BufferPool::FlushRunLocked(AreaId area, PageId first,
 }
 
 Status BufferPool::FlushAll() {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   // Collect dirty pages, sorted, and flush maximal contiguous runs.
   std::vector<std::pair<uint64_t, uint32_t>> dirty;  // (key, slot)
   for (uint32_t i = 0; i < frames_.size(); ++i) {
@@ -575,7 +575,7 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::Invalidate(AreaId area, PageId first, uint32_t n_pages) {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   for (uint32_t i = 0; i < n_pages; ++i) {
     int s = FindSlot(area, first + i);
     if (s < 0) continue;
@@ -594,7 +594,7 @@ std::vector<BufferPool::CachedPage> BufferPool::CachedPagesSorted() const {
   // lookup table, then pin the ordering explicitly: the result must be a
   // pure function of *which* pages are cached, never of insertion order
   // or hash seeding.
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   std::vector<CachedPage> out;
   out.reserve(frames_.size());
   for (const Frame& f : frames_) {
@@ -608,18 +608,18 @@ std::vector<BufferPool::CachedPage> BufferPool::CachedPagesSorted() const {
 }
 
 bool BufferPool::IsCached(AreaId area, PageId page) const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   return FindSlot(area, page) >= 0;
 }
 
 bool BufferPool::IsDirty(AreaId area, PageId page) const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   int s = FindSlot(area, page);
   return s >= 0 && frames_[static_cast<uint32_t>(s)].dirty;
 }
 
 BufferPool::State BufferPool::SaveState() const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   for (const Frame& f : frames_) LOB_CHECK_EQ(f.pins, 0u);
   State state;
   state.arena = arena_;
@@ -633,7 +633,7 @@ BufferPool::State BufferPool::SaveState() const {
 }
 
 void BufferPool::RestoreState(const State& state) {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   for (const Frame& f : frames_) LOB_CHECK_EQ(f.pins, 0u);
   // A read-only walk can still have *written* to disk (evicting a dirty
   // victim); restoring the frame's dirty bit afterwards is safe because
@@ -648,7 +648,7 @@ void BufferPool::RestoreState(const State& state) {
 }
 
 void BufferPool::PublishCounters(ObsRegistry* obs) const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   obs->Counter("pool.fix_hits") = hits_;
   obs->Counter("pool.fix_misses") = misses_;
   obs->Counter("pool.evictions") = evictions_;

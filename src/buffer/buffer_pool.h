@@ -85,16 +85,20 @@ enum class FixMode {
   kNew,   ///< do not load: caller will overwrite the whole page
 };
 
-/// Buffer pool over a SimDisk. The study itself is single-user, but the
-/// pool is the first latch point of the planned multi-client serving arc
-/// (ROADMAP item 1), so its shared state is already guarded by an
-/// annotated Mutex at LockRank::kBufferPool: every public entry point
-/// takes the pool latch and the real work happens in `*Locked` private
-/// helpers that statically require it. SimDisk I/O (and through it the
-/// obs/trace charging at ranks 40/50) runs under the pool latch, which is
-/// why kBufferPool sits below kObsRegistry/kTraceSession in the rank
-/// table. Frame pointers handed out via PageGuard stay valid while the
-/// pin is held — the pin, not the latch, is the lifetime contract.
+/// Buffer pool over a SimDisk, the first latch point of the multi-client
+/// serving arc (ROADMAP item 1): shared state is guarded by an annotated
+/// reader-writer latch at LockRank::kBufferPool. Mutating entry points
+/// (fix, segment I/O, flush, invalidate) take the writer side; pure
+/// inspection (IsCached/IsDirty, counters, CachedPagesSorted, SaveState,
+/// PageGuard::data) takes the reader side, so concurrent readers of a
+/// warm pool never serialize on each other. The real work happens in
+/// `*Locked` private helpers that statically require the latch
+/// (LOB_REQUIRES_SHARED for const inspection, exclusive for mutation).
+/// SimDisk I/O (and through it the obs/trace charging at ranks 40/50)
+/// runs under the pool latch, which is why kBufferPool sits below
+/// kObsRegistry/kTraceSession in the rank table. Frame pointers handed
+/// out via PageGuard stay valid while the pin is held — the pin, not the
+/// latch, is the lifetime contract.
 class BufferPool {
  public:
   BufferPool(SimDisk* disk, const StorageConfig& config);
@@ -159,16 +163,16 @@ class BufferPool {
 
   /// Number of FixPage calls served without disk I/O (for tests/metrics).
   uint64_t hits() const LOB_EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
+    ReaderMutexLock lock(&mu_);
     return hits_;
   }
   uint64_t misses() const LOB_EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
+    ReaderMutexLock lock(&mu_);
     return misses_;
   }
   /// Number of valid frames evicted to make room (dirty or clean).
   uint64_t evictions() const LOB_EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
+    ReaderMutexLock lock(&mu_);
     return evictions_;
   }
 
@@ -219,12 +223,12 @@ class BufferPool {
   char* SlotData(uint32_t slot) LOB_REQUIRES(mu_) {
     return arena_.data() + static_cast<size_t>(slot) * config_.page_size;
   }
-  const char* SlotData(uint32_t slot) const LOB_REQUIRES(mu_) {
+  const char* SlotData(uint32_t slot) const LOB_REQUIRES_SHARED(mu_) {
     return arena_.data() + static_cast<size_t>(slot) * config_.page_size;
   }
 
   /// The frame's current bytes: the borrowed image or the pool slot.
-  const char* FrameDataLocked(uint32_t slot) const LOB_REQUIRES(mu_) {
+  const char* FrameDataLocked(uint32_t slot) const LOB_REQUIRES_SHARED(mu_) {
     const Frame& f = frames_[slot];
     return f.borrow != nullptr ? f.borrow : SlotData(slot);
   }
@@ -237,7 +241,7 @@ class BufferPool {
     return (static_cast<uint64_t>(area) << 32) | page;
   }
 
-  int FindSlot(AreaId area, PageId page) const LOB_REQUIRES(mu_);
+  int FindSlot(AreaId area, PageId page) const LOB_REQUIRES_SHARED(mu_);
 
   /// Core of FixPage: pins (area, page) and returns its slot. The public
   /// wrapper turns the slot into a PageGuard; segment-range internals use
@@ -267,10 +271,10 @@ class BufferPool {
   void UnpinLocked(uint32_t slot) LOB_REQUIRES(mu_);
   void Unpin(uint32_t slot) LOB_EXCLUDES(mu_);
 
-  /// Pool latch (LockRank::kBufferPool). `mutable` so const inspection
-  /// entry points (IsCached, CachedPagesSorted, SaveState, counters) can
-  /// take it too.
-  mutable Mutex mu_{LockRank::kBufferPool};
+  /// Pool latch (LockRank::kBufferPool), reader-writer. `mutable` so
+  /// const inspection entry points (IsCached, CachedPagesSorted,
+  /// SaveState, counters) can take the shared side.
+  mutable SharedMutex mu_{LockRank::kBufferPool};
   SimDisk* const disk_;
   const StorageConfig config_;
   std::vector<char> arena_ LOB_GUARDED_BY(mu_);

@@ -64,6 +64,12 @@ class JsonValue {
     return v != nullptr && v->is_number() ? v->num_ : fallback;
   }
 
+  /// Convenience: boolean member with default.
+  bool BoolOr(const std::string& key, bool fallback) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->is_bool() ? v->bool_ : fallback;
+  }
+
   /// Convenience: string member with default.
   std::string StringOr(const std::string& key,
                        const std::string& fallback) const {

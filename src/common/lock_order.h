@@ -45,6 +45,13 @@ namespace lob {
     "ThreadPool queue + stop flag; never held while a task body runs")       \
   X(kCampaign, 20, "exec.campaign",                                          \
     "campaign progress counter; taken briefly by workers between cells")     \
+  X(kLobTree, 24, "lobtree.positional",                                      \
+    "PositionalTree node table + aux state; an op latches its tree before "  \
+    "touching the allocator or the pool")                                    \
+  X(kBuddyDirectory, 26, "buddy.directory",                                  \
+    "DatabaseArea buddy directory + free tree; acquired under the tree "     \
+    "latch and held across directory-block pool I/O (26 < 30, so "           \
+    "allocator bookkeeping orders before frame latching)")                   \
   X(kBufferPool, 30, "buffer.pool",                                          \
     "BufferPool frame table, LRU clock, hit/miss counters; outermost "       \
     "storage-layer lock (SimDisk charges obs/trace beneath it)")             \

@@ -1,6 +1,16 @@
 #include "exec/thread_pool.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace lob {
+
+namespace {
+// Which pool (if any) the current thread is a worker of. Lets Submit
+// distinguish a legal drain-submit (task body enqueuing follow-up work
+// during shutdown) from a foreign thread racing destruction.
+thread_local const ThreadPool* tls_worker_of = nullptr;
+}  // namespace
 
 unsigned ThreadPool::DefaultWorkers() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -14,7 +24,24 @@ ThreadPool::ThreadPool(unsigned workers) : workers_(workers) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+bool ThreadPool::InWorkerThread() const { return tls_worker_of == this; }
+
+void ThreadPool::DieSubmitAfterShutdown() {
+  std::fprintf(stderr,
+               "ThreadPool::Submit after Shutdown began: the task would "
+               "never run (only a worker's own task may drain-submit)\n");
+  std::abort();
+}
+
+void ThreadPool::Shutdown() {
+  if (InWorkerThread()) {
+    std::fprintf(stderr,
+                 "ThreadPool::Shutdown from inside a task body would "
+                 "self-join\n");
+    std::abort();
+  }
+  if (joined_) return;
+  joined_ = true;
   {
     MutexLock lock(&mu_);
     stop_ = true;
@@ -23,7 +50,10 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+ThreadPool::~ThreadPool() { Shutdown(); }
+
 void ThreadPool::WorkerLoop() {
+  tls_worker_of = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -33,7 +63,7 @@ void ThreadPool::WorkerLoop() {
       MutexLock lock(&mu_);
       while (!stop_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) {
-        if (stop_) return;  // drained: pending tasks always run
+        if (stop_) break;  // drained: pending tasks always run
         continue;
       }
       task = std::move(queue_.front());
@@ -41,6 +71,7 @@ void ThreadPool::WorkerLoop() {
     }
     task();
   }
+  tls_worker_of = nullptr;
 }
 
 }  // namespace lob

@@ -8,8 +8,18 @@
 //
 // workers == 0 is the degenerate inline mode: Submit runs the task on the
 // calling thread before returning. workers == 1 runs everything on one
-// background thread in submission order. Destruction drains the queue
-// (pending tasks still run) and joins every worker.
+// background thread in submission order. Shutdown (or destruction, which
+// calls it) drains the queue — pending tasks still run — and joins every
+// worker.
+//
+// Shutdown contract: a task submitted from *inside* a running task (a
+// drain-submit) is guaranteed to run, even when shutdown has already
+// begun — the submitting worker cannot be joined while its task body is
+// executing, and workers only exit once the queue is empty. A Submit from
+// any *other* thread after shutdown has begun is a programming error that
+// aborts with a diagnostic rather than letting the task vanish into a
+// destructed queue (tests/thread_safety_test.cc death-tests both sides of
+// the contract).
 
 #ifndef LOB_EXEC_THREAD_POOL_H_
 #define LOB_EXEC_THREAD_POOL_H_
@@ -41,8 +51,19 @@ class ThreadPool {
 
   unsigned workers() const { return workers_; }
 
+  /// True when the calling thread is one of this pool's workers (i.e. a
+  /// task body is submitting follow-up work).
+  bool InWorkerThread() const;
+
+  /// Begins shutdown and joins every worker: pending tasks (including
+  /// drain-submits they make) still run. Idempotent; the destructor calls
+  /// it. Calling from inside a task body would self-join and aborts.
+  void Shutdown() LOB_EXCLUDES(mu_);
+
   /// Enqueues `fn` and returns the future of its result. With zero
-  /// workers the task runs inline on the calling thread.
+  /// workers the task runs inline on the calling thread. Submitting after
+  /// Shutdown has begun is legal only from inside a running task (the
+  /// drain-submit guarantee above); from any other thread it aborts.
   template <typename F, typename R = std::invoke_result_t<std::decay_t<F>&>>
   std::future<R> Submit(F&& fn) LOB_EXCLUDES(mu_) {
     auto task =
@@ -54,6 +75,7 @@ class ThreadPool {
     }
     {
       MutexLock lock(&mu_);
+      if (stop_ && !InWorkerThread()) DieSubmitAfterShutdown();
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.NotifyOne();
@@ -62,15 +84,17 @@ class ThreadPool {
 
  private:
   void WorkerLoop() LOB_EXCLUDES(mu_);
+  [[noreturn]] static void DieSubmitAfterShutdown();
 
   const unsigned workers_;
   // LOBLINT(lock-rank): owner-thread confined — written only by the
-  // constructor and joined by the destructor; workers never touch it.
+  // constructor and joined by Shutdown; workers never touch it.
   std::vector<std::thread> threads_;
   Mutex mu_{LockRank::kThreadPool};
   std::deque<std::function<void()>> queue_ LOB_GUARDED_BY(mu_);
   CondVar cv_;
   bool stop_ LOB_GUARDED_BY(mu_) = false;
+  bool joined_ = false;  // LOBLINT(lock-rank): owner-thread confined
 };
 
 }  // namespace lob

@@ -66,6 +66,7 @@ struct Gate {
   std::string pattern;
   BenchDiff::Direction direction = BenchDiff::Direction::kUnknown;
   double max_regression = 0.0;
+  bool report_only = false;
   int matched = 0;
 };
 
@@ -159,6 +160,7 @@ StatusOr<BenchDiff> BenchDiff::Compare(const JsonValue& a, const JsonValue& b,
         return Status::InvalidArgument("gate " + gate.name +
                                        ": negative max_regression");
       }
+      gate.report_only = g.BoolOr("report_only", false);
       parsed_gates.push_back(gate);
     }
   }
@@ -194,10 +196,15 @@ StatusOr<BenchDiff> BenchDiff::Compare(const JsonValue& a, const JsonValue& b,
       row.gate_name = gate.name;
       row.direction = gate.direction;
       if (!row.in_a || !row.in_b) {
-        row.violation = true;
-        d.violations_.push_back("gate " + gate.name + ": metric " + metric +
-                                (row.in_a ? " missing from new run"
-                                          : " missing from baseline"));
+        const std::string msg =
+            "gate " + gate.name + ": metric " + metric +
+            (row.in_a ? " missing from new run" : " missing from baseline");
+        if (gate.report_only) {
+          d.notes_.push_back(msg);
+        } else {
+          row.violation = true;
+          d.violations_.push_back(msg);
+        }
         continue;
       }
       const bool bad =
@@ -205,13 +212,17 @@ StatusOr<BenchDiff> BenchDiff::Compare(const JsonValue& a, const JsonValue& b,
               ? row.b < row.a * (1.0 - gate.max_regression)
               : row.b > row.a * (1.0 + gate.max_regression);
       if (bad) {
-        row.violation = true;
         char msg[256];
         std::snprintf(msg, sizeof(msg),
                       "gate %s: %s %.6g -> %.6g (%+.2f%%, allowed %.0f%%)",
                       gate.name.c_str(), metric.c_str(), row.a, row.b,
                       row.rel_delta * 100.0, gate.max_regression * 100.0);
-        d.violations_.push_back(msg);
+        if (gate.report_only) {
+          d.notes_.push_back(msg);
+        } else {
+          row.violation = true;
+          d.violations_.push_back(msg);
+        }
       }
     }
 
@@ -229,9 +240,14 @@ StatusOr<BenchDiff> BenchDiff::Compare(const JsonValue& a, const JsonValue& b,
 
   for (const auto& gate : parsed_gates) {
     if (gate.matched == 0) {
-      d.violations_.push_back("gate " + gate.name + ": pattern \"" +
+      const std::string msg = "gate " + gate.name + ": pattern \"" +
                               gate.pattern + "\" matched no metric in "
-                              "either run (rotted gate)");
+                              "either run (rotted gate)";
+      if (gate.report_only) {
+        d.notes_.push_back(msg);
+      } else {
+        d.violations_.push_back(msg);
+      }
     }
   }
   return d;
@@ -287,6 +303,7 @@ std::string BenchDiff::ToTable() const {
           violations_.size());
   out += ZeroDrift() ? " (zero drift)\n" : "\n";
   for (const auto& v : violations_) out += "VIOLATION: " + v + "\n";
+  for (const auto& n : notes_) out += "REPORT: " + n + "\n";
   return out;
 }
 
@@ -326,6 +343,12 @@ std::string BenchDiff::ToJson() const {
   first = true;
   for (const auto& v : violations_) {
     AppendF(&out, "%s\n    \"%s\"", first ? "" : ",", JsonEscape(v).c_str());
+    first = false;
+  }
+  out += "\n  ],\n  \"notes\": [";
+  first = true;
+  for (const auto& n : notes_) {
+    AppendF(&out, "%s\n    \"%s\"", first ? "" : ",", JsonEscape(n).c_str());
     first = false;
   }
   out += "\n  ]\n}\n";

@@ -141,7 +141,8 @@ uint64_t Histogram::BucketLowerBound(int i) {
   return uint64_t{1} << (i - 1);
 }
 
-void ObsRegistry::RecordOpEnd(const char* label, const IoStats& op_delta) {
+void ObsRegistry::RecordOpEnd(const char* label, const IoStats& op_delta,
+                              bool record_queue) {
   MutexLock lock(&mu_);
   // One heterogeneous lookup per op end; the label's ledger record and
   // histogram destinations are resolved (and their name strings built)
@@ -157,12 +158,20 @@ void ObsRegistry::RecordOpEnd(const char* label, const IoStats& op_delta) {
     e.pages = &HistoLocked(base + ".pages");
     it = op_end_memo_.emplace(base, e).first;
   }
-  const OpEndEntry& e = it->second;
+  OpEndEntry& e = it->second;
   e.rec->count++;
   e.ms->Add(
       static_cast<uint64_t>(std::llround(op_delta.ms < 0 ? 0 : op_delta.ms)));
   e.seeks->Add(op_delta.Seeks());
   e.pages->Add(op_delta.PagesTransferred());
+  if (record_queue) {
+    if (e.queue == nullptr) {
+      e.queue = &HistoLocked(std::string(label) + ".queue_ms");
+      if (high_res_ops_) e.queue->EnableSubBuckets();
+    }
+    e.queue->Add(static_cast<uint64_t>(
+        std::llround(op_delta.queue_ms < 0 ? 0 : op_delta.queue_ms)));
+  }
 }
 
 IoStats ObsRegistry::AttributedTotal() const {
@@ -178,7 +187,9 @@ bool ObsRegistry::ConservationHolds(const IoStats& global) const {
          sum.write_calls == global.write_calls &&
          sum.pages_read == global.pages_read &&
          sum.pages_written == global.pages_written &&
-         std::fabs(sum.ms - global.ms) < 1e-6 * (1.0 + std::fabs(global.ms));
+         std::fabs(sum.ms - global.ms) < 1e-6 * (1.0 + std::fabs(global.ms)) &&
+         std::fabs(sum.queue_ms - global.queue_ms) <
+             1e-6 * (1.0 + std::fabs(global.queue_ms));
 }
 
 void ObsRegistry::MergeFrom(const ObsRegistry& other) {

@@ -179,9 +179,12 @@ class ObsRegistry {
   /// Records the end of one operation: bumps the label's count and feeds
   /// the per-op histograms (<label>.ms / .seeks / .pages). `op_delta` is
   /// the global-IoStats delta across the operation (nested scopes
-  /// included). Called by OpScope.
-  void RecordOpEnd(const char* label, const IoStats& op_delta)
-      LOB_EXCLUDES(mu_);
+  /// included). With `record_queue` set (OpScope passes the disk's
+  /// queue-model flag) the op's modeled queueing delay additionally feeds
+  /// a <label>.queue_ms histogram — queue-disabled runs create no such
+  /// histograms, keeping their export bytes unchanged. Called by OpScope.
+  void RecordOpEnd(const char* label, const IoStats& op_delta,
+                   bool record_queue = false) LOB_EXCLUDES(mu_);
 
   /// Thread-compatible map views (escaping references; quiesced readers
   /// only — exporters, tests, post-join aggregation).
@@ -247,6 +250,7 @@ class ObsRegistry {
     Histogram* ms = nullptr;
     Histogram* seeks = nullptr;
     Histogram* pages = nullptr;
+    Histogram* queue = nullptr;  ///< resolved lazily, queue-model runs only
   };
 
   /// Registry latch (LockRank::kObsRegistry); mutable for const

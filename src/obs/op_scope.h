@@ -81,7 +81,8 @@ class OpScope {
 #endif
     ObsRegistry* obs = disk_->obs();
     if (obs == nullptr) return;
-    obs->RecordOpEnd(label_, IoStats::Delta(start_, disk_->stats()));
+    obs->RecordOpEnd(label_, IoStats::Delta(start_, disk_->stats()),
+                     /*record_queue=*/disk_->queue_enabled());
   }
 
   OpScope(const OpScope&) = delete;

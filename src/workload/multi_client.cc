@@ -1,0 +1,175 @@
+#include "workload/multi_client.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "workload/workload.h"
+
+namespace lob {
+
+namespace {
+
+/// Distinct per-client pseudo-random stream: splitmix-style spread of the
+/// run seed so neighbouring clients never correlate.
+uint64_t ClientSeed(uint64_t seed, uint32_t client) {
+  return seed ^ (0x9e3779b97f4a7c15ull * (client + 1));
+}
+
+/// Picks the next client deterministically from the scheduler state.
+class Scheduler {
+ public:
+  Scheduler(const MultiClientSpec& spec)
+      : spec_(spec), rng_(spec.seed ^ 0xc2b2ae3d27d4eb4full) {
+    if (spec_.policy == SchedulePolicy::kWeighted) {
+      weights_ = spec_.weights;
+      weights_.resize(spec_.clients, 1.0);
+      for (double w : weights_) {
+        LOB_CHECK(w >= 0.0);
+        total_weight_ += w;
+      }
+      LOB_CHECK_GT(total_weight_, 0.0);
+    }
+  }
+
+  uint32_t Next() {
+    if (spec_.policy == SchedulePolicy::kRoundRobin) {
+      return next_rr_++ % spec_.clients;
+    }
+    const double r = rng_.NextDouble() * total_weight_;
+    double acc = 0.0;
+    for (uint32_t c = 0; c < spec_.clients; ++c) {
+      acc += weights_[c];
+      if (r < acc) return c;
+    }
+    return spec_.clients - 1;  // guard against FP edge at r == total
+  }
+
+ private:
+  const MultiClientSpec& spec_;
+  Rng rng_;
+  uint32_t next_rr_ = 0;
+  std::vector<double> weights_;
+  double total_weight_ = 0.0;
+};
+
+/// Mutable per-client state: its own Rng stream (op choice, sizes,
+/// offsets, payload bytes), logical clock and delete-size memory.
+struct Client {
+  explicit Client(uint64_t seed) : rng(seed) {}
+  Rng rng;
+  ObjectId object = kInvalidPage;
+  double clock_ms = 0.0;
+  uint64_t last_insert_size = 0;
+};
+
+}  // namespace
+
+StatusOr<MultiClientResult> RunMultiClient(StorageSystem* sys,
+                                           LargeObjectManager* mgr,
+                                           const MultiClientSpec& spec) {
+  LOB_CHECK_GT(spec.clients, 0u);
+  LOB_CHECK_GT(spec.window_ops, 0u);
+  MultiClientResult result;
+
+  // Build phase: one private object per client, plain bulk appends. The
+  // queue model stays off so build cost is attributed exactly like the
+  // single-client benches.
+  std::vector<Client> clients;
+  clients.reserve(spec.clients);
+  for (uint32_t c = 0; c < spec.clients; ++c) {
+    clients.emplace_back(ClientSeed(spec.seed, c));
+    auto id = mgr->Create();
+    if (!id.ok()) return id.status();
+    clients.back().object = *id;
+    result.objects.push_back(*id);
+    LOB_RETURN_IF_ERROR(BuildObject(sys, mgr, *id, spec.object_bytes,
+                                    spec.build_append_bytes,
+                                    ClientSeed(spec.seed, c))
+                            .status());
+    clients.back().last_insert_size = clients.back().rng.Uniform(
+        spec.mean_op_bytes / 2, spec.mean_op_bytes * 3 / 2);
+  }
+
+  // Mix phase: interleaved streams against the shared disk arm. All
+  // client clocks start at 0 — the mix is the experiment's time origin.
+  sys->disk()->EnableQueue();
+  Scheduler sched(spec);
+  SimDisk* disk = sys->disk();
+  std::string buf;
+  MultiClientWindow window;
+  uint32_t window_start = 0;
+  double window_service = 0, window_queue = 0;
+
+  for (uint32_t op = 1; op <= spec.total_ops; ++op) {
+    Client& cl = clients[sched.Next()];
+    const IoStats before = sys->stats();
+    disk->BeginQueuedOp(cl.clock_ms);
+    auto size_or = mgr->Size(cl.object);
+    if (!size_or.ok()) {
+      (void)disk->EndQueuedOp();
+      return size_or.status();
+    }
+    const uint64_t size = *size_or;
+    const double p = cl.rng.NextDouble();
+    Status st;
+    if (p < spec.read_frac) {
+      uint64_t n =
+          cl.rng.Uniform(spec.mean_op_bytes / 2, spec.mean_op_bytes * 3 / 2);
+      n = std::min(n, size);
+      const uint64_t off = size > n ? cl.rng.Uniform(0, size - n) : 0;
+      st = mgr->Read(cl.object, off, n, &buf);
+      if (st.ok()) result.reads++;
+    } else if (p < spec.read_frac + spec.insert_frac) {
+      const uint64_t n =
+          cl.rng.Uniform(spec.mean_op_bytes / 2, spec.mean_op_bytes * 3 / 2);
+      const uint64_t off = cl.rng.Uniform(0, size);
+      FillBytes(&cl.rng, n, &buf, NoZeroInit{});
+      st = mgr->Insert(cl.object, off, buf);
+      if (st.ok()) {
+        cl.last_insert_size = n;
+        result.inserts++;
+      }
+    } else {
+      const uint64_t n = std::min(cl.last_insert_size, size);
+      if (n > 0) {
+        const uint64_t off = cl.rng.Uniform(0, size - n);
+        st = mgr->Delete(cl.object, off, n);
+        if (st.ok()) result.deletes++;
+      }
+    }
+    cl.clock_ms = disk->EndQueuedOp();
+    if (!st.ok()) return st;
+    result.ops++;
+
+    const IoStats delta = IoStats::Delta(before, sys->stats());
+    result.service_ms += delta.ms;
+    result.queue_ms += delta.queue_ms;
+    result.max_queue_ms = std::max(result.max_queue_ms, delta.queue_ms);
+    window_service += delta.ms;
+    window_queue += delta.queue_ms;
+    window.max_queue_ms = std::max(window.max_queue_ms, delta.queue_ms);
+    result.queue_hist.Add(static_cast<uint64_t>(
+        std::llround(delta.queue_ms < 0 ? 0.0 : delta.queue_ms)));
+
+    if (op % spec.window_ops == 0 || op == spec.total_ops) {
+      const uint32_t in_window = op - window_start;
+      window.ops_done = op;
+      window.avg_service_ms = window_service / in_window;
+      window.avg_queue_ms = window_queue / in_window;
+      result.windows.push_back(window);
+      window = MultiClientWindow();
+      window_service = window_queue = 0;
+      window_start = op;
+    }
+  }
+
+  for (const Client& cl : clients) {
+    result.makespan_ms = std::max(result.makespan_ms, cl.clock_ms);
+  }
+  return result;
+}
+
+}  // namespace lob

@@ -1,0 +1,94 @@
+// Multi-client workload driver: modeled intra-database concurrency.
+//
+// N logical clients issue interleaved operation streams against ONE
+// database (one StorageSystem, one manager, one object per client). The
+// interleaving is produced by a seeded deterministic scheduler — strict
+// round-robin or weighted pick — so a given seed yields the exact same
+// operation sequence on every run, at any --jobs value and on any host:
+// ops execute strictly serially in schedule order; what is concurrent is
+// the *model*, not the execution.
+//
+// Contention is captured by SimDisk's modeled disk queue: each client
+// carries a logical clock, every operation is bracketed with
+// BeginQueuedOp(client_clock) / EndQueuedOp(), and the disk's single-arm
+// FIFO model charges each metered call a queueing delay (time the request
+// sat behind earlier arrivals) separately from its seek+transfer service
+// time. The client's clock advances to the completion time of its op's
+// last call, so a client naturally slows down when the disk is busy.
+//
+// Because execution is serial and in schedule order, issue order ==
+// execution order == fault-countdown order: an armed countdown fault
+// fires at the same operation for every run of a seed, which is what the
+// seeded fault x concurrency regression test pins down.
+
+#ifndef LOB_WORKLOAD_MULTI_CLIENT_H_
+#define LOB_WORKLOAD_MULTI_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/large_object.h"
+#include "core/storage_system.h"
+#include "obs/obs_registry.h"
+
+namespace lob {
+
+/// How the scheduler picks the next client.
+enum class SchedulePolicy : uint8_t {
+  kRoundRobin,  ///< clients take strict turns (0, 1, ..., N-1, 0, ...)
+  kWeighted,    ///< seeded draw proportional to per-client weights
+};
+
+/// Parameters of a multi-client run.
+struct MultiClientSpec {
+  uint32_t clients = 4;
+  uint32_t total_ops = 2000;   ///< across all clients
+  uint32_t window_ops = 500;   ///< per-window aggregate cadence
+  /// Per-client object built (plain appends, queue model off) before the
+  /// interleaved mix starts.
+  uint64_t object_bytes = 256 * 1024;
+  uint64_t build_append_bytes = 64 * 1024;
+  /// Op mix (paper 4.4 shape): remainder of read+insert is deletes.
+  double read_frac = 0.4;
+  double insert_frac = 0.3;
+  uint64_t mean_op_bytes = 10000;
+  uint64_t seed = 1;
+  SchedulePolicy policy = SchedulePolicy::kRoundRobin;
+  /// kWeighted only: relative pick weight per client; empty = uniform.
+  std::vector<double> weights;
+};
+
+/// Aggregates over one window of `window_ops` scheduled operations.
+struct MultiClientWindow {
+  uint32_t ops_done = 0;       ///< schedule position at the window mark
+  double avg_service_ms = 0;   ///< mean seek+transfer ms per op
+  double avg_queue_ms = 0;     ///< mean modeled queueing delay per op
+  double max_queue_ms = 0;     ///< worst per-op queueing delay in window
+};
+
+/// Result of one multi-client run.
+struct MultiClientResult {
+  uint32_t ops = 0;
+  uint32_t reads = 0, inserts = 0, deletes = 0;
+  double service_ms = 0;    ///< total seek+transfer ms across all ops
+  double queue_ms = 0;      ///< total modeled queueing delay
+  double max_queue_ms = 0;  ///< worst single-op queueing delay
+  double makespan_ms = 0;   ///< latest client logical clock at the end
+  /// Per-op queueing-delay histogram (integer ms): p50/p99 source.
+  Histogram queue_hist;
+  /// Per-window aggregates, one per window_ops plus a final partial.
+  std::vector<MultiClientWindow> windows;
+  /// The per-client object ids, for fsck / teardown.
+  std::vector<ObjectId> objects;
+};
+
+/// Builds one object per client, enables the disk-queue model, then runs
+/// `total_ops` interleaved operations picked by the scheduler. The same
+/// (spec, seed) always produces the same operation stream and the same
+/// modeled costs — byte-identical at any --jobs.
+[[nodiscard]] StatusOr<MultiClientResult> RunMultiClient(
+    StorageSystem* sys, LargeObjectManager* mgr, const MultiClientSpec& spec);
+
+}  // namespace lob
+
+#endif  // LOB_WORKLOAD_MULTI_CLIENT_H_

@@ -88,6 +88,40 @@ TEST(ThreadPoolTest, PendingTasksRunBeforeDestruction) {
   EXPECT_EQ(done.load(), 32);
 }
 
+TEST(ThreadPoolTest, DrainSubmitDuringShutdownStillRuns) {
+  // The shutdown contract's legal side: a task body may submit follow-up
+  // work even while the destructor is joining. The submitting worker
+  // cannot be joined mid-task and workers only exit once the queue is
+  // empty, so the drain-submit must run — silently dropping it was the
+  // bug this pins down.
+  std::atomic<int> chain{0};
+  {
+    ThreadPool pool(1);
+    pool.Submit([&pool, &chain] {
+      // Give the destructor a head start so stop_ is (very likely)
+      // already set when the inner Submit happens; correctness must not
+      // depend on winning this race either way.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      chain.fetch_add(1);
+      pool.Submit([&pool, &chain] {
+        chain.fetch_add(1);
+        pool.Submit([&chain] { chain.fetch_add(1); });
+      });
+    });
+    // Destructor begins shutdown while the first task body is running.
+  }
+  EXPECT_EQ(chain.load(), 3);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndSubmitBeforeItWorks) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { return 11; });
+  EXPECT_EQ(f.get(), 11);
+  pool.Shutdown();
+  pool.Shutdown();  // second call is a no-op
+  // Destructor will call Shutdown() a third time; still fine.
+}
+
 TEST(JobOutputTest, PrintfAppendsFormattedText) {
   JobOutput out;
   out.Printf("a=%d ", 1);

@@ -1,0 +1,23 @@
+// LOBLINT-FIXTURE-PATH: src/buddy/bad_latch.h
+//
+// A SharedMutex declared without naming its LockRank. Reader-writer
+// latches participate in the same acquisition order as plain mutexes
+// (a writer hold is a hold); leaving the rank off hides the latch from
+// the order checker exactly like an unranked Mutex would.
+
+#ifndef LOB_TESTS_LINT_FIXTURES_BAD_LOCK_RANK_3_H_
+#define LOB_TESTS_LINT_FIXTURES_BAD_LOCK_RANK_3_H_
+
+#include "common/lock_order.h"
+#include "common/thread_annotations.h"
+
+namespace lob {
+
+class BadLatch {
+ private:
+  mutable SharedMutex latch_;  // BAD: no LockRank named
+};
+
+}  // namespace lob
+
+#endif  // LOB_TESTS_LINT_FIXTURES_BAD_LOCK_RANK_3_H_

@@ -1,0 +1,44 @@
+// LOBLINT-FIXTURE-PATH: src/lobtree/good_latch.h
+//
+// The reader-writer latch shape the concurrency model introduced (see
+// PositionalTree and DatabaseArea): a SharedMutex naming its rank from
+// the table, members guarded by it, and shared-lock method contracts
+// spelled with LOB_REQUIRES_SHARED. Must produce zero findings.
+
+#ifndef LOB_TESTS_LINT_FIXTURES_GOOD_LOCK_RANK_2_H_
+#define LOB_TESTS_LINT_FIXTURES_GOOD_LOCK_RANK_2_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/lock_order.h"
+#include "common/thread_annotations.h"
+
+namespace lob {
+
+class GoodLatch {
+ public:
+  uint64_t Size() const LOB_EXCLUDES(latch_) {
+    ReaderMutexLock lock(&latch_);
+    return SizeLocked();
+  }
+
+  void Grow(uint64_t n) LOB_EXCLUDES(latch_) {
+    WriterMutexLock lock(&latch_);
+    leaves_.push_back(n);
+    ++height_;
+  }
+
+ private:
+  uint64_t SizeLocked() const LOB_REQUIRES_SHARED(latch_) {
+    return leaves_.size();
+  }
+
+  mutable SharedMutex latch_{LockRank::kLobTree};
+  std::vector<uint64_t> leaves_ LOB_GUARDED_BY(latch_);
+  uint32_t height_ LOB_GUARDED_BY(latch_) = 0;
+};
+
+}  // namespace lob
+
+#endif  // LOB_TESTS_LINT_FIXTURES_GOOD_LOCK_RANK_2_H_

@@ -302,5 +302,32 @@ TEST(LogSinkTest, WarnWhileHoldingEveryOtherRankIsLegal) {
             std::string::npos);
 }
 
+// -------------------------------------- ThreadPool shutdown contract
+
+// The illegal sides of the shutdown contract must fail loudly instead of
+// silently dropping work (tasks vanishing into a destructed queue was
+// the original bug): a Submit from a non-worker thread after Shutdown
+// aborts, and a Shutdown from inside a task body (which would self-join)
+// aborts. The legal drain-submit side is covered in exec_test.cc.
+
+TEST(ThreadPoolDeathTest, ForeignSubmitAfterShutdownAborts) {
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(1);
+        pool.Shutdown();
+        pool.Submit([] {});  // would never run
+      },
+      "Submit after Shutdown");
+}
+
+TEST(ThreadPoolDeathTest, ShutdownFromWorkerThreadAborts) {
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(1);
+        pool.Submit([&pool] { pool.Shutdown(); }).get();
+      },
+      "self-join");
+}
+
 }  // namespace
 }  // namespace lob
